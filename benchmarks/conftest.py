@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+The experiment benches reduce shared workload runs (the expensive part is
+executed once per session-scope fixture); the ``benchmark`` fixture then
+times the *reduction* of measurements into each table/figure, and every
+bench prints the regenerated artifact so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper's evaluation section.
+
+Scale knobs (env-free, edit here): ``BENCH_SESSIONS`` sessions for the
+CoDeeN week (paper: 929,922), ``BENCH_ML_SESSIONS`` for the §4.2 dataset
+(paper: 167,246).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+BENCH_SESSIONS = 1200
+BENCH_ML_SESSIONS = 1200
+BENCH_SEED = 2006
+BENCH_ML_SEED = 4242
+
+
+@pytest.fixture(scope="session")
+def codeen_week():
+    """The shared CoDeeN-week run behind Table 1 / Figure 2 / overhead."""
+    from repro.experiments.table1 import run_codeen_week_cached
+
+    return run_codeen_week_cached(BENCH_SESSIONS, BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ml_dataset():
+    """The shared §4.2 dataset behind Figure 4 / Table 2."""
+    from repro.experiments.figure4 import build_ml_dataset
+
+    return build_ml_dataset(BENCH_ML_SESSIONS, BENCH_ML_SEED)

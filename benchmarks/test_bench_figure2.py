@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 2 (CDF of requests needed to detect).
+
+Paper: mouse events — 80% within 20 requests, 95% within 57; CSS — 95%
+within 19, 99% within 48; JS files track CSS.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import detection_cdfs
+from repro.experiments.figure2 import Figure2Result
+
+
+def test_bench_figure2(benchmark, codeen_week):
+    cdfs = benchmark(detection_cdfs, codeen_week.latencies)
+
+    result = Figure2Result(result=codeen_week, cdfs=cdfs)
+    print("\n" + result.render())
+
+    readings = result.readings()
+    for (curve, x), value in readings.items():
+        benchmark.extra_info[f"{curve}@{x}"] = round(value, 3)
+
+    # Shape: the paper's anchor points within tolerance.
+    assert readings[("mouse", 20)] > 0.65      # paper 0.80
+    assert readings[("mouse", 57)] > 0.90      # paper 0.95
+    assert readings[("css", 19)] > 0.88        # paper 0.95
+    assert readings[("css", 48)] > 0.96        # paper 0.99
+    # Ordering: browser test is the quick scheme.
+    assert cdfs.css.quantile(0.95) < cdfs.mouse.quantile(0.95)

@@ -1,0 +1,111 @@
+"""Hot-path microbenchmarks: the per-request costs a deployment pays.
+
+These are the quantities that decide whether the scheme can run inline at
+proxy data rates (the paper's core engineering argument against the
+heavier ML approach, §4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.http.headers import Headers
+from repro.http.message import Method, Request
+from repro.http.uri import Url
+from repro.instrument.keys import InstrumentationRegistry
+from repro.instrument.rewriter import InstrumentConfig, PageInstrumenter
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.dataset import build_matrix
+from repro.site.generator import SiteConfig, SiteGenerator
+from repro.site.origin import OriginServer
+from repro.proxy.node import ProxyNode
+from repro.util.rng import RngStream
+
+_SITE = SiteGenerator(SiteConfig(n_pages=20)).generate(RngStream(1, "bench"))
+_PAGE_HTML = _SITE.pages[_SITE.home_path].render()
+_PAGE_URL = Url.parse(f"http://{_SITE.host}{_SITE.home_path}")
+
+
+def test_bench_page_instrumentation(benchmark):
+    """Pages rewritten per second (runs on every served HTML page)."""
+    registry = InstrumentationRegistry(per_ip_cap=100000)
+    instrumenter = PageInstrumenter(
+        registry, RngStream(2, "bench"), InstrumentConfig()
+    )
+    counter = itertools.count()
+
+    def instrument():
+        i = next(counter)
+        return instrumenter.instrument(
+            _PAGE_HTML, _PAGE_URL, f"10.0.{i % 250}.{i % 199}", float(i)
+        )
+
+    result = benchmark(instrument)
+    assert result.added_bytes > 0
+    benchmark.extra_info["page_bytes"] = len(_PAGE_HTML)
+
+
+def test_bench_registry_match(benchmark):
+    """Probe-table lookups per second (runs on every request)."""
+    registry = InstrumentationRegistry(per_ip_cap=1024)
+    instrumenter = PageInstrumenter(
+        registry, RngStream(3, "bench"), InstrumentConfig()
+    )
+    page = instrumenter.instrument(_PAGE_HTML, _PAGE_URL, "10.1.1.1", 0.0)
+    css = next(p for p in page.probes if p.kind.value == "css_beacon")
+    request = Request(
+        method=Method.GET,
+        url=Url.parse(f"http://{_SITE.host}{css.path}"),
+        client_ip="10.1.1.1",
+        headers=Headers(),
+        timestamp=1.0,
+    )
+
+    hit = benchmark(registry.match, request)
+    assert hit is not None
+
+
+def test_bench_proxy_request_path(benchmark):
+    """Full node.handle() throughput on a page request."""
+    node = ProxyNode(
+        node_id="bench",
+        origins={_SITE.host: OriginServer(_SITE)},
+        rng=RngStream(4, "bench"),
+    )
+    counter = itertools.count()
+
+    def one_request():
+        i = next(counter)
+        request = Request(
+            method=Method.GET,
+            url=_PAGE_URL,
+            client_ip=f"10.2.{i % 250}.{i % 199}",
+            headers=Headers([("User-Agent", "bench-agent")]),
+            timestamp=float(i),
+        )
+        return node.handle(request)
+
+    response = benchmark(one_request)
+    assert response.status == 200
+
+
+def test_bench_adaboost_training(benchmark, ml_dataset):
+    """200-round training time on the benchmark dataset (§4.2's cost)."""
+    x, y = build_matrix(ml_dataset.examples, 160)
+
+    model = benchmark.pedantic(
+        lambda: AdaBoostClassifier(n_rounds=200).fit(x, y),
+        rounds=1,
+        iterations=1,
+    )
+    assert model.rounds > 0
+    benchmark.extra_info["n_examples"] = len(y)
+
+
+def test_bench_adaboost_scoring(benchmark, ml_dataset):
+    """Per-session scoring throughput (the online-deployment concern)."""
+    x, y = build_matrix(ml_dataset.examples, 160)
+    model = AdaBoostClassifier(n_rounds=200).fit(x, y)
+
+    predictions = benchmark(model.predict, x)
+    assert predictions.shape == y.shape

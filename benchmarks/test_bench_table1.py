@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table 1 (the CoDeeN session census).
+
+Paper (929,922 sessions): CSS 28.9%, JS 27.1%, mouse 22.3%, CAPTCHA 9.1%,
+hidden links 1.0%, UA mismatch 0.7%; S_H = 24.2%, max FPR 2.4%.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SESSIONS
+from repro.detection.set_algebra import SessionSets
+from repro.experiments.table1 import PAPER_TABLE1, Table1Result
+
+
+def test_bench_table1(benchmark, codeen_week):
+    def reduce_census():
+        sets = SessionSets.from_sessions(codeen_week.sessions)
+        return sets.summary()
+
+    summary = benchmark(reduce_census)
+
+    result = Table1Result(result=codeen_week)
+    print("\n" + result.render())
+
+    measured = result.measured_percentages()
+    benchmark.extra_info["n_sessions"] = BENCH_SESSIONS
+    benchmark.extra_info["seed"] = BENCH_SEED
+    for key, value in measured.items():
+        benchmark.extra_info[key] = round(value, 2)
+
+    # Shape assertions: every census row lands in the paper's ballpark.
+    assert abs(measured["css_downloads"] - PAPER_TABLE1["css_downloads"]) < 5
+    assert abs(measured["js_executions"] - PAPER_TABLE1["js_executions"]) < 5
+    assert abs(
+        measured["mouse_movements"] - PAPER_TABLE1["mouse_movements"]
+    ) < 5
+    assert abs(measured["captcha_passes"] - PAPER_TABLE1["captcha_passes"]) < 3
+    assert measured["max_false_positive_rate"] < 6.0
+    assert summary.total_sessions > 0

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 2 (attributes + measured contributions).
+
+Paper: 12 attributes; "RESPCODE_3XX%, REFERRER% and UNSEEN_REFERRER%
+turned out to be the most contributing attributes."
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_ML_SEED
+from repro.experiments.table2 import PAPER_TOP_ATTRIBUTES, Table2Result
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.dataset import build_matrix
+from repro.ml.evaluate import train_test_split
+from repro.ml.importance import attribute_contributions
+from repro.util.rng import RngStream
+
+
+def test_bench_table2(benchmark, ml_dataset):
+    train, _ = train_test_split(
+        ml_dataset.examples, RngStream(BENCH_ML_SEED, "split")
+    )
+    x_train, y_train = build_matrix(train, 160)
+    model = AdaBoostClassifier(n_rounds=200).fit(x_train, y_train)
+
+    contributions = benchmark(attribute_contributions, model)
+
+    result = Table2Result(contributions=contributions, checkpoint=160)
+    print("\n" + result.render())
+
+    top6 = result.top(6)
+    benchmark.extra_info["top_attributes"] = ", ".join(top6)
+
+    # Shape: the referrer-family attributes the paper highlights are
+    # heavily used by the learned ensemble.
+    referrer_family_hits = sum(
+        1 for name in PAPER_TOP_ATTRIBUTES if name in top6
+    )
+    assert referrer_family_hits >= 1
+    weights = dict(contributions)
+    assert weights["REFERRER%"] + weights["UNSEEN_REFERRER%"] > 0.05

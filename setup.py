@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs (``pip install -e .``) cannot build metadata.  This file lets
+``python setup.py develop`` (and legacy pip fallbacks) install the
+package from pyproject.toml metadata alone.
+"""
+
+from setuptools import setup
+
+setup()

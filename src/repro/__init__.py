@@ -1,0 +1,80 @@
+"""repro — a reproduction of "Securing Web Service by Automatic Robot
+Detection" (Park, Pai, Lee, Calo; USENIX ATC 2006).
+
+The package implements the paper's two online human/robot classifiers —
+JavaScript mouse-activity beacons and standard-browser testing — together
+with every substrate they ran on: a CoDeeN-like proxy network, synthetic
+origin sites, behavioural client models (browsers and eight robot
+families), the CAPTCHA funnel, and the §4.2 AdaBoost study, plus the
+experiment harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import CodeenWeekExperiment, CodeenWeekConfig
+
+    result = CodeenWeekExperiment(CodeenWeekConfig(n_sessions=500)).run()
+    print(result.summary.lower_bound, result.summary.upper_bound)
+
+See README.md for the architecture tour and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.detection import (
+    DetectionService,
+    Label,
+    OnlineClassifier,
+    SessionSets,
+    SessionState,
+    SessionTracker,
+    Verdict,
+)
+from repro.instrument import (
+    InstrumentConfig,
+    InstrumentationRegistry,
+    PageInstrumenter,
+)
+from repro.ml import (
+    ATTRIBUTE_NAMES,
+    AdaBoostClassifier,
+    FeatureAccumulator,
+)
+from repro.proxy import ProxyNetwork, ProxyNode
+from repro.site import OriginServer, SiteConfig, SiteGenerator
+from repro.util import RngStream
+from repro.workload import (
+    CODEEN_WEEK,
+    CodeenWeekExperiment,
+    WorkloadConfig,
+    WorkloadEngine,
+)
+from repro.workload.codeen import CodeenWeekConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATTRIBUTE_NAMES",
+    "AdaBoostClassifier",
+    "CODEEN_WEEK",
+    "CodeenWeekConfig",
+    "CodeenWeekExperiment",
+    "DetectionService",
+    "FeatureAccumulator",
+    "InstrumentConfig",
+    "InstrumentationRegistry",
+    "Label",
+    "OnlineClassifier",
+    "OriginServer",
+    "PageInstrumenter",
+    "ProxyNetwork",
+    "ProxyNode",
+    "RngStream",
+    "SessionSets",
+    "SessionState",
+    "SessionTracker",
+    "SiteConfig",
+    "SiteGenerator",
+    "Verdict",
+    "WorkloadConfig",
+    "WorkloadEngine",
+    "__version__",
+]

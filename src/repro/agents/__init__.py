@@ -1,0 +1,49 @@
+"""Traffic-source models: human browsers and the robot bestiary.
+
+Every agent is a generator that yields :class:`~repro.agents.base.FetchAction`
+and receives the resulting request/response pair — exactly the observable
+channel the paper's detectors watch.  Agents never see server-side state;
+JavaScript-capable agents "execute" served scripts by interpreting the
+page bytes (resolving the mouse-handler URL, filling in the UA-echo
+template), and robots implement the abuse behaviours §1 catalogues:
+crawling, e-mail harvesting, referrer spam, click fraud, vulnerability
+scanning, DDoS flooding, plus the §4.1 counter-measure bots.
+"""
+
+from repro.agents.base import Agent, FetchAction, FetchResult
+from repro.agents.behavior import BehaviorProfile
+from repro.agents.browser import BrowserAgent, BrowserConfig
+from repro.agents.population import AgentSpec, PopulationMix
+from repro.agents.robots import (
+    BlindFetcherBot,
+    ClickFraudBot,
+    CrawlerBot,
+    DdosZombie,
+    EmailHarvesterBot,
+    EngineBot,
+    MouseForgerBot,
+    OfflineBrowserBot,
+    ReferrerSpammerBot,
+    VulnScannerBot,
+)
+
+__all__ = [
+    "Agent",
+    "AgentSpec",
+    "BehaviorProfile",
+    "BlindFetcherBot",
+    "BrowserAgent",
+    "BrowserConfig",
+    "ClickFraudBot",
+    "CrawlerBot",
+    "DdosZombie",
+    "EmailHarvesterBot",
+    "EngineBot",
+    "FetchAction",
+    "FetchResult",
+    "MouseForgerBot",
+    "OfflineBrowserBot",
+    "PopulationMix",
+    "ReferrerSpammerBot",
+    "VulnScannerBot",
+]

@@ -1,0 +1,99 @@
+"""Agent protocol: generator-driven HTTP clients.
+
+An agent's ``browse()`` method is a generator: it yields a
+:class:`FetchAction` (what to fetch, with what referrer, after how much
+think time) and receives back a :class:`FetchResult` carrying the actual
+request and response.  The session runner owns the clock and the proxy;
+the agent owns behaviour.  This keeps every agent a linear, readable
+script of its real-world counterpart.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.http.message import Method, Request, Response
+from repro.util.rng import RngStream
+
+BrowseGenerator = Generator["FetchAction", "FetchResult", None]
+
+
+@dataclass(frozen=True)
+class FetchAction:
+    """One fetch the agent wants to perform."""
+
+    url: str
+    method: Method = Method.GET
+    referer: str | None = None
+    think_time: float = 0.0
+    extra_headers: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.think_time < 0:
+            raise ValueError("think_time must be non-negative")
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """What came back for a FetchAction."""
+
+    request: Request
+    response: Response
+
+    @property
+    def final_url(self) -> str:
+        """The fetched URL as a string."""
+        return str(self.request.url)
+
+
+class Agent(abc.ABC):
+    """Base class for every traffic source.
+
+    ``kind`` names the behavioural family (used for ground-truth labels
+    and mix accounting); ``true_label`` is "human" or "robot" — attached
+    to sessions by the workload engine for *evaluation only*, never read
+    by detectors.
+    """
+
+    kind: str = "abstract"
+    true_label: str = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+    ) -> None:
+        if not client_ip:
+            raise ValueError("client_ip must be non-empty")
+        self.client_ip = client_ip
+        self.user_agent = user_agent
+        self.rng = rng
+        self.entry_url = entry_url
+
+    @abc.abstractmethod
+    def browse(self) -> BrowseGenerator:
+        """Yield fetch actions; receive fetch results."""
+
+    # -- helpers shared by concrete agents ---------------------------------
+
+    def _jitter(self, low: float, high: float) -> float:
+        """Uniform think-time helper."""
+        return self.rng.uniform(low, high)
+
+
+@dataclass
+class SessionBudget:
+    """Limits the runner enforces on one agent session."""
+
+    max_requests: int = 500
+    max_duration: float = 3000.0
+
+    def __post_init__(self) -> None:
+        if self.max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        if self.max_duration <= 0:
+            raise ValueError("max_duration must be positive")

@@ -1,0 +1,70 @@
+"""Observable capability profiles.
+
+A :class:`BehaviorProfile` captures the client-side properties the paper's
+detectors key on — which object types get fetched, whether JavaScript
+runs, whether a human produces mouse activity — so browser-like agents
+(the human models and the §4.1 engine bots) can share one implementation
+and differ only in profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """What this client fetches and does, observably.
+
+    ``mouse_move_probability`` is per *page view*: the chance the user
+    moves the mouse over the page (firing the beacon handler) before
+    navigating away.  Passive readers — who scroll with keys, or park the
+    pointer — are modelled with low values; they are the long tail of
+    Figure 2's mouse-event CDF.
+    """
+
+    js_enabled: bool = True
+    fetches_stylesheets: bool = True
+    fetches_images: bool = True
+    fetches_scripts: bool = True
+    image_fetch_fraction: float = 1.0
+    favicon_probability: float = 0.45
+    mouse_user: bool = True
+    mouse_move_probability: float = 0.85
+    engine_user_agent: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mouse_move_probability <= 1.0:
+            raise ValueError("mouse_move_probability must be in [0, 1]")
+        if not 0.0 <= self.image_fetch_fraction <= 1.0:
+            raise ValueError("image_fetch_fraction must be in [0, 1]")
+        if not 0.0 <= self.favicon_probability <= 1.0:
+            raise ValueError("favicon_probability must be in [0, 1]")
+        if not self.js_enabled and self.mouse_user:
+            # Mouse activity is only *observable* through the JavaScript
+            # beacon; a JS-disabled human moves the mouse invisibly.
+            object.__setattr__(self, "mouse_user", False)
+
+
+STANDARD_BROWSER = BehaviorProfile()
+"""A JS-enabled browser with an active mouse user."""
+
+JS_DISABLED_BROWSER = BehaviorProfile(
+    js_enabled=False,
+    fetches_scripts=False,
+    mouse_user=False,
+)
+"""A privacy-conscious user: CSS and images, but no JavaScript (§2.2's
+4-6% of users)."""
+
+PASSIVE_READER = BehaviorProfile(mouse_move_probability=0.25)
+"""A human who rarely moves the mouse while reading."""
+
+HEADLESS_ENGINE = BehaviorProfile(
+    mouse_user=False,
+    favicon_probability=0.42,
+)
+"""A real browser engine driven by automation: fetches everything,
+executes JavaScript, but no human input ever arrives (§3.1: sessions that
+executed JavaScript but show no mouse movement 'definitely belong to
+robots')."""

@@ -1,0 +1,359 @@
+"""The human browser model.
+
+``BrowserAgent`` walks the site's link graph the way a person behind a
+2006 browser does: fetch a page, burst-fetch its embedded objects, run
+inline JavaScript (the UA echo), maybe fetch the favicon, move the mouse
+over the page (firing the beacon handler for *this* page's key), think,
+click a visible link.  JavaScript execution is simulated faithfully from
+the served bytes: the mouse handler URL is resolved out of the fetched
+beacon script exactly as a JS engine would
+(:func:`repro.instrument.js_beacon.find_handler_fetch_url`), so the agent
+can only ever fetch the correct key if it received and "ran" the script.
+
+Two timing details matter for Figure 2's CDFs:
+
+* sessions often *begin mid-browse* — the <IP, User-Agent> window opens
+  while the client is still pulling objects for whatever it was doing
+  before (hotlinked images, a half-loaded previous page).  The model
+  prepends a short warm-up of direct image fetches, which shifts every
+  detection curve right the way the paper's curves are shifted;
+* the mouse moves *while the page loads*, not after: once the beacon
+  script has arrived, each further object fetch gives the user a chance
+  to have produced the event, with a fallback after the burst.
+
+The same class models the §4.1 headless-engine bots via
+:class:`~repro.agents.behavior.BehaviorProfile`: a profile with
+``mouse_user=False`` fetches everything and executes JavaScript but never
+produces mouse evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction, FetchResult
+from repro.agents.behavior import BehaviorProfile, STANDARD_BROWSER
+from repro.html.links import PageReferences, extract_references
+from repro.http.content import ContentKind
+from repro.http.uri import Url, resolve_url
+from repro.instrument.js_beacon import find_handler_fetch_url
+from repro.instrument.ua_probe import interpret_ua_probe
+from repro.util.rng import RngStream
+
+_EXTERNAL_REFERERS = (
+    "http://search.example.net/search?q=codeen",
+    "http://links.example.org/daily.html",
+    "http://mail.example.net/inbox",
+)
+
+
+@dataclass(frozen=True)
+class BrowserConfig:
+    """Pacing and navigation knobs for the browser model."""
+
+    min_pages: int = 2
+    max_pages: int = 12
+    think_median: float = 9.0
+    think_sigma: float = 0.7
+    object_delay_low: float = 0.04
+    object_delay_high: float = 0.35
+    mouse_delay_low: float = 0.3
+    mouse_delay_high: float = 5.0
+    mouse_hazard: float = 0.6
+    early_abort_probability: float = 0.08
+    abort_keep_probability: float = 0.3
+    back_probability: float = 0.12
+    external_referer_probability: float = 0.45
+    warmup_probability: float = 0.65
+    warmup_max: int = 10
+    long_warmup_probability: float = 0.05
+    long_warmup_min: int = 20
+    long_warmup_max: int = 45
+    max_redirects: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_pages < 1 or self.max_pages < self.min_pages:
+            raise ValueError("need 1 <= min_pages <= max_pages")
+        if self.max_redirects < 0:
+            raise ValueError("max_redirects must be non-negative")
+        if not 0.0 <= self.mouse_hazard <= 1.0:
+            raise ValueError("mouse_hazard must be in [0, 1]")
+        if self.warmup_max < 0:
+            raise ValueError("warmup_max must be non-negative")
+
+
+class BrowserAgent(Agent):
+    """A human (or a headless engine) behind a standard browser."""
+
+    kind = "browser"
+    true_label = "human"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        profile: BehaviorProfile = STANDARD_BROWSER,
+        config: BrowserConfig | None = None,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        self.profile = profile
+        self.config = config or BrowserConfig()
+
+    # -- the session script -------------------------------------------------
+
+    def browse(self) -> BrowseGenerator:
+        cfg = self.config
+        rng = self.rng
+        n_pages = rng.randint(cfg.min_pages, cfg.max_pages)
+        history: list[str] = []
+        favicon_done = False
+
+        yield from self._warmup()
+
+        current_url = self.entry_url
+        referer: str | None = None
+        if rng.bernoulli(cfg.external_referer_probability):
+            referer = rng.choice(_EXTERNAL_REFERERS)
+
+        for page_index in range(n_pages):
+            think = 0.8 if page_index == 0 else rng.lognormal(
+                cfg.think_median, cfg.think_sigma
+            )
+            result = yield FetchAction(
+                current_url, referer=referer, think_time=think
+            )
+            result = yield from self._follow_redirects(result, referer)
+            if (
+                result.response.status != 200
+                or result.response.content_kind is not ContentKind.HTML
+            ):
+                choice = self._recover(history)
+                if choice is None:
+                    return
+                current_url, referer = choice
+                continue
+
+            page_url = result.final_url
+            history.append(page_url)
+            base = Url.parse(page_url)
+            refs = extract_references(result.response.text)
+
+            will_move = (
+                self.profile.js_enabled
+                and self.profile.mouse_user
+                and rng.bernoulli(self.profile.mouse_move_probability)
+            )
+            yield from self._render_page(base, refs, will_move)
+
+            if self.profile.js_enabled:
+                yield from self._execute_inline_scripts(page_url, refs)
+
+            if not favicon_done and rng.bernoulli(
+                self.profile.favicon_probability
+            ):
+                favicon_done = True
+                yield FetchAction(
+                    f"http://{base.host}/favicon.ico",
+                    referer=page_url,
+                    think_time=self._jitter(
+                        cfg.object_delay_low, cfg.object_delay_high
+                    ),
+                )
+
+            next_choice = self._pick_next(base, refs, history)
+            if next_choice is None:
+                return
+            current_url, referer = next_choice
+
+    # -- sub-behaviours -------------------------------------------------------
+
+    def _warmup(self) -> BrowseGenerator:
+        """Leftover object traffic from before this session window opened.
+
+        The home page of every generated site carries at least three
+        images with deterministic names, so direct (hotlink-style) image
+        fetches need no prior page load; fresh query strings keep the
+        proxy cache from collapsing them.
+        """
+        cfg = self.config
+        rng = self.rng
+        if rng.bernoulli(cfg.long_warmup_probability):
+            # The user spent a while on object-heavy, uninstrumented
+            # content before the first page: the paper's long CDF tails.
+            count = rng.randint(cfg.long_warmup_min, cfg.long_warmup_max)
+        elif cfg.warmup_max == 0 or not rng.bernoulli(
+            cfg.warmup_probability
+        ):
+            return
+        else:
+            count = rng.randint(1, cfg.warmup_max)
+        host = Url.parse(self.entry_url).host
+        for i in range(count):
+            yield FetchAction(
+                f"http://{host}/img/p000_{i % 3}.jpg?r={rng.randint(1, 999999)}",
+                referer=rng.choice(_EXTERNAL_REFERERS),
+                think_time=self._jitter(
+                    cfg.object_delay_low, cfg.object_delay_high
+                ),
+            )
+
+    def _follow_redirects(
+        self, result: FetchResult, referer: str | None
+    ) -> BrowseGenerator:
+        """Chase Location headers like a browser (bounded)."""
+        cfg = self.config
+        hops = 0
+        while (
+            300 <= result.response.status < 400
+            and hops < cfg.max_redirects
+        ):
+            location = result.response.headers.get("Location")
+            if not location:
+                break
+            hops += 1
+            result = yield FetchAction(
+                location, referer=referer, think_time=0.05
+            )
+        return result
+
+    def _render_page(
+        self, base: Url, refs: PageReferences, will_move: bool
+    ) -> BrowseGenerator:
+        """Fetch embedded objects, firing the mouse handler mid-load."""
+        cfg = self.config
+        rng = self.rng
+        profile = self.profile
+        page_url = str(base)
+
+        head_objects: list[str] = []
+        if profile.fetches_stylesheets:
+            head_objects.extend(refs.stylesheets)
+        if profile.fetches_scripts:
+            head_objects.extend(refs.scripts)
+        body_objects: list[str] = []
+        if profile.fetches_images:
+            images = refs.images
+            if profile.image_fetch_fraction < 1.0 and images:
+                keep = max(
+                    1, round(len(images) * profile.image_fetch_fraction)
+                )
+                images = images[:keep]
+            body_objects.extend(images)
+        body_objects.extend(refs.audio)
+
+        # 2006 browsers parse incrementally with a couple of parallel
+        # connections: head resources lead, images interleave behind them.
+        planned = rng.shuffled(head_objects) + rng.shuffled(body_objects)
+        if planned and rng.bernoulli(cfg.early_abort_probability):
+            # The user navigated away mid-load; a random subset arrives.
+            planned = [
+                ref
+                for ref in planned
+                if rng.bernoulli(cfg.abort_keep_probability)
+            ]
+
+        scripts_text: dict[str, str] = {}
+        moved = False
+        for reference in planned:
+            url = str(resolve_url(base, reference))
+            result = yield FetchAction(
+                url,
+                referer=page_url,
+                think_time=self._jitter(
+                    cfg.object_delay_low, cfg.object_delay_high
+                ),
+            )
+            if (
+                result.response.status == 200
+                and result.response.content_kind is ContentKind.JAVASCRIPT
+            ):
+                scripts_text[url] = result.response.text
+            if (
+                will_move
+                and not moved
+                and scripts_text
+                and rng.bernoulli(cfg.mouse_hazard)
+            ):
+                moved = yield from self._fire_handler(
+                    page_url, refs, scripts_text, mid_burst=True
+                )
+        if will_move and not moved:
+            # The user moved the mouse after the page finished loading.
+            yield from self._fire_handler(
+                page_url, refs, scripts_text, mid_burst=False
+            )
+
+    def _fire_handler(
+        self,
+        page_url: str,
+        refs: PageReferences,
+        scripts_text: dict[str, str],
+        mid_burst: bool,
+    ) -> BrowseGenerator:
+        """Resolve and fetch the page's mouse-handler URL; True on fetch."""
+        cfg = self.config
+        handler = refs.body_event_handlers.get("onmousemove")
+        if not handler:
+            return False
+        for source in scripts_text.values():
+            url = find_handler_fetch_url(source, handler)
+            if url is not None:
+                if mid_burst:
+                    think = self._jitter(0.05, 0.8)
+                else:
+                    think = self._jitter(
+                        cfg.mouse_delay_low, cfg.mouse_delay_high
+                    )
+                yield FetchAction(url, referer=page_url, think_time=think)
+                return True
+        return False
+
+    def _execute_inline_scripts(
+        self, page_url: str, refs: PageReferences
+    ) -> BrowseGenerator:
+        """Run inline scripts: the UA echo probe document.writes a link."""
+        cfg = self.config
+        engine_ua = self.profile.engine_user_agent or self.user_agent
+        for source in refs.inline_scripts:
+            template = interpret_ua_probe(source)
+            if template is None:
+                continue
+            yield FetchAction(
+                template.fetch_url(engine_ua),
+                referer=page_url,
+                think_time=self._jitter(
+                    cfg.object_delay_low, cfg.object_delay_high
+                ),
+            )
+
+    # -- navigation helpers ---------------------------------------------------
+
+    def _pick_next(
+        self, base: Url, refs: PageReferences, history: list[str]
+    ) -> tuple[str, str] | None:
+        """Choose the next page: a visible on-site link, or back."""
+        cfg = self.config
+        rng = self.rng
+        page_url = str(base)
+
+        if len(history) > 1 and rng.bernoulli(cfg.back_probability):
+            return history[-2], page_url
+
+        candidates = []
+        for reference in refs.visible_links:
+            target = resolve_url(base, reference)
+            if target.host == base.host:
+                candidates.append(str(target))
+        if not candidates:
+            if len(history) > 1:
+                return history[-2], page_url
+            return None
+        return rng.choice(candidates), page_url
+
+    def _recover(self, history: list[str]) -> tuple[str, str | None] | None:
+        """After an error page: go back if possible, else give up."""
+        if history:
+            return history[-1], None
+        return None

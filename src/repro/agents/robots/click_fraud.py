@@ -1,0 +1,90 @@
+"""Click-fraud bot.
+
+§1's abuse item (3): "generating automated click-throughs on online ads
+to boost affiliate revenue."  The bot loads a landing page, finds its CGI
+(ad) links, then hammers them with varied query parameters and forged
+referrers.  It never renders anything: no CSS, no images, no JavaScript
+(§2.2: "Referrer spammers and click fraud generators do not even need to
+care about the content of the requested pages").
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.content import ContentKind
+from repro.http.uri import Url, resolve_url
+from repro.html.links import extract_references
+from repro.util.rng import RngStream
+
+
+class ClickFraudBot(Agent):
+    """Automated ad click-through generator."""
+
+    kind = "click_fraud"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 50,
+        delay_low: float = 0.4,
+        delay_high: float = 3.0,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+
+    def browse(self) -> BrowseGenerator:
+        rng = self.rng
+        entry = Url.parse(self.entry_url)
+        budget = self.max_requests
+        cgi_targets: list[str] = []
+        page_pool = [self.entry_url]
+
+        while budget > 0:
+            if cgi_targets and rng.bernoulli(0.75):
+                # "Click" an ad: same endpoint, fresh parameters so the
+                # click looks unique to the affiliate network.
+                base = rng.choice(cgi_targets)
+                url = Url.parse(base)
+                clicked = url.with_path(
+                    url.path, f"q=ad{rng.randint(1, 9999)}"
+                )
+                budget -= 1
+                yield FetchAction(
+                    str(clicked),
+                    referer=rng.choice(page_pool),
+                    think_time=self._jitter(self.delay_low, self.delay_high),
+                )
+                continue
+
+            # Revisit a landing page to discover more ad endpoints.
+            target = rng.choice(page_pool)
+            result = yield FetchAction(
+                target,
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )
+            budget -= 1
+            if (
+                result.response.status != 200
+                or result.response.content_kind is not ContentKind.HTML
+            ):
+                continue
+            base_url = Url.parse(result.final_url)
+            refs = extract_references(result.response.text)
+            for reference in refs.visible_links:
+                resolved = resolve_url(base_url, reference)
+                if resolved.host != entry.host:
+                    continue
+                text = str(resolved)
+                if resolved.query or "/cgi-bin/" in resolved.path:
+                    if text not in cgi_targets:
+                        cgi_targets.append(text)
+                elif text not in page_pool and len(page_pool) < 8:
+                    page_pool.append(text)

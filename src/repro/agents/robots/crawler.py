@@ -1,0 +1,132 @@
+"""Web crawler: breadth-first link spider.
+
+Crawlers request HTML and skip presentation objects — exactly the
+behaviour the CSS-beacon test keys on (§2.2: "Some Web crawlers request
+only HTML files").  A ``follow_hidden`` crawler queues every anchor it
+sees, visible or not, and therefore walks into the hidden-link trap.
+Polite crawlers fetch robots.txt first and respect its Disallow rules
+(§5: the protocol "is entirely advisory").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.content import ContentKind
+from repro.http.uri import Url, resolve_url
+from repro.html.links import extract_references
+from repro.site.robots_txt import RobotsTxt, parse_robots_txt
+from repro.util.rng import RngStream
+
+
+class CrawlerBot(Agent):
+    """A search-engine-style spider."""
+
+    kind = "crawler"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 80,
+        polite: bool = True,
+        follow_hidden: bool = False,
+        fetch_images: bool = False,
+        delay_low: float = 0.4,
+        delay_high: float = 2.5,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.polite = polite
+        self.follow_hidden = follow_hidden
+        # Image-search crawlers mirror page images (but still skip CSS
+        # and scripts — they index content, they don't render).
+        self.fetch_images = fetch_images
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+        if follow_hidden:
+            self.kind = "crawler_hidden"
+        elif fetch_images:
+            self.kind = "image_crawler"
+
+    def browse(self) -> BrowseGenerator:
+        rng = self.rng
+        entry = Url.parse(self.entry_url)
+        budget = self.max_requests
+        robots: RobotsTxt | None = None
+
+        if self.polite:
+            result = yield FetchAction(
+                f"http://{entry.host}/robots.txt",
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )
+            budget -= 1
+            if result.response.status == 200:
+                robots = parse_robots_txt(result.response.text)
+
+        if rng.bernoulli(0.35):
+            # Search engines fetch site favicons for their result pages.
+            yield FetchAction(
+                f"http://{entry.host}/favicon.ico",
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )
+            budget -= 1
+
+        frontier: deque[str] = deque([self.entry_url])
+        seen: set[str] = {self.entry_url}
+
+        while frontier and budget > 0:
+            url_text = frontier.popleft()
+            url = Url.parse(url_text)
+            if robots is not None and not robots.allows(
+                self.user_agent, url.path
+            ):
+                continue
+            result = yield FetchAction(
+                url_text,
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )
+            budget -= 1
+            if (
+                result.response.status != 200
+                or result.response.content_kind is not ContentKind.HTML
+            ):
+                continue
+            refs = extract_references(result.response.text)
+            if self.fetch_images:
+                for reference in refs.images:
+                    if budget <= 0:
+                        return
+                    target = str(resolve_url(url, reference))
+                    if target in seen:
+                        continue
+                    seen.add(target)
+                    budget -= 1
+                    yield FetchAction(
+                        target,
+                        referer=url_text,
+                        think_time=self._jitter(
+                            self.delay_low, self.delay_high
+                        ),
+                    )
+            links = (
+                refs.all_links if self.follow_hidden else refs.visible_links
+            )
+            for reference in links:
+                target = resolve_url(url, reference)
+                if target.host != entry.host:
+                    continue
+                text = str(target)
+                if text not in seen:
+                    seen.add(text)
+                    frontier.append(text)
+            # Crawl order: mostly FIFO, with occasional shuffling the way
+            # real schedulers interleave per-host queues.
+            if len(frontier) > 4 and rng.bernoulli(0.2):
+                frontier = deque(rng.shuffled(frontier))

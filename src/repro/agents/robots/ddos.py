@@ -1,0 +1,54 @@
+"""DDoS zombie.
+
+§1's abuse item (1): "harnessing hundreds or thousands of compromised
+machines (zombies) to flood Web sites."  One zombie floods a small set of
+URLs as fast as it can; it forges a browser User-Agent (flood kits did)
+but fetches nothing else — no objects, no JavaScript — so every detector
+reads it as a robot, and its GET rate trips the policy threshold almost
+immediately.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.uri import Url
+from repro.util.rng import RngStream
+
+
+class DdosZombie(Agent):
+    """Floods the target with rapid-fire GETs."""
+
+    kind = "ddos_zombie"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 200,
+        delay_low: float = 0.02,
+        delay_high: float = 0.25,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+
+    def browse(self) -> BrowseGenerator:
+        rng = self.rng
+        entry = Url.parse(self.entry_url)
+        # A couple of path variants so the flood isn't a single cache key.
+        targets = [
+            self.entry_url,
+            f"http://{entry.host}/",
+            f"http://{entry.host}{entry.path}?x={rng.randint(1, 9)}",
+        ]
+        for _ in range(self.max_requests):
+            yield FetchAction(
+                rng.choice(targets),
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )

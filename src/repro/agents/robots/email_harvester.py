@@ -1,0 +1,76 @@
+"""E-mail address harvester.
+
+"Some Web crawlers request only HTML files, as do email address
+collectors" (§2.2).  The harvester greedily scans page text for
+addresses; it never fetches embedded objects, never executes JavaScript,
+and rarely bothers with robots.txt.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.content import ContentKind
+from repro.http.uri import Url, resolve_url
+from repro.html.links import extract_references
+from repro.util.rng import RngStream
+
+_EMAIL_RE = re.compile(r"[\w.+-]+@[\w-]+\.[\w.]+")
+
+
+class EmailHarvesterBot(Agent):
+    """Scrapes pages hunting for mailto text."""
+
+    kind = "email_harvester"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 60,
+        delay_low: float = 0.15,
+        delay_high: float = 1.0,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+        self.harvested: set[str] = set()
+
+    def browse(self) -> BrowseGenerator:
+        entry = Url.parse(self.entry_url)
+        frontier: deque[str] = deque([self.entry_url])
+        seen: set[str] = {self.entry_url}
+        budget = self.max_requests
+
+        while frontier and budget > 0:
+            url_text = frontier.popleft()
+            result = yield FetchAction(
+                url_text,
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )
+            budget -= 1
+            if (
+                result.response.status != 200
+                or result.response.content_kind is not ContentKind.HTML
+            ):
+                continue
+            text = result.response.text
+            self.harvested.update(_EMAIL_RE.findall(text))
+            base = Url.parse(result.final_url)
+            refs = extract_references(text)
+            for reference in refs.visible_links:
+                target = resolve_url(base, reference)
+                if target.host != entry.host:
+                    continue
+                candidate = str(target)
+                if candidate not in seen:
+                    seen.add(candidate)
+                    frontier.append(candidate)

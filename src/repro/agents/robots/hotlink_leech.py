@@ -1,0 +1,61 @@
+"""Hotlink image leech.
+
+A 2000s bandwidth parasite: it embeds another site's images in its own
+pages, so its traffic is a stream of direct image fetches with Referer
+headers pointing at pages the origin has never served — every referrer
+"unseen".  Its request profile (all images, full referrers, no HTML) is
+exactly what a *human* session looks like while it is still finishing
+object fetches from previous browsing, which is why the §4.2 classifiers
+need more requests to separate the two — the early-N accuracy dip of
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.uri import Url
+from repro.util.rng import RngStream
+
+_LEECH_REFERERS = (
+    "http://forum.example-leech.net/thread{i}.html",
+    "http://blog.example-leech.org/post{i}.html",
+    "http://board.example-leech.com/view{i}.php",
+)
+
+
+class HotlinkLeechBot(Agent):
+    """Serves another site's images through its own pages."""
+
+    kind = "hotlink_leech"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 80,
+        delay_low: float = 0.2,
+        delay_high: float = 2.0,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+
+    def browse(self) -> BrowseGenerator:
+        rng = self.rng
+        host = Url.parse(self.entry_url).host
+        template = rng.choice(_LEECH_REFERERS)
+        for i in range(self.max_requests):
+            # The home page's images are the stable hotlink targets; the
+            # cache-busting query models per-viewer variation.
+            referer = template.replace("{i}", str(rng.randint(1, 400)))
+            yield FetchAction(
+                f"http://{host}/img/p000_{i % 3}.jpg?v={rng.randint(1, 10**6)}",
+                referer=referer,
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )

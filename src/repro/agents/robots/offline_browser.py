@@ -1,0 +1,93 @@
+"""Off-line browser (site downloader).
+
+§2.2's acknowledged exception: "there are some exceptions like off-line
+browsers that download all the possible files for future display."  It
+fetches every embedded object — including the beacon CSS and the beacon
+JavaScript *file* — but executes nothing, so it lands in S_CSS without
+ever appearing in S_JS or S_MM.  These sessions are the robot component
+of the gap between the paper's lower and upper human bounds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.content import ContentKind
+from repro.http.uri import Url, resolve_url
+from repro.html.links import extract_references
+from repro.util.rng import RngStream
+
+
+class OfflineBrowserBot(Agent):
+    """Downloads pages and all their objects for later viewing."""
+
+    kind = "offline_browser"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 120,
+        follow_hidden: bool = False,
+        delay_low: float = 0.05,
+        delay_high: float = 0.5,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.follow_hidden = follow_hidden
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+
+    def browse(self) -> BrowseGenerator:
+        entry = Url.parse(self.entry_url)
+        frontier: deque[str] = deque([self.entry_url])
+        seen: set[str] = {self.entry_url}
+        budget = self.max_requests
+
+        while frontier and budget > 0:
+            page_text = frontier.popleft()
+            result = yield FetchAction(
+                page_text,
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )
+            budget -= 1
+            if (
+                result.response.status != 200
+                or result.response.content_kind is not ContentKind.HTML
+            ):
+                continue
+            base = Url.parse(result.final_url)
+            refs = extract_references(result.response.text)
+
+            # Mirror every embedded object of the page.
+            for reference in refs.embedded_objects:
+                if budget <= 0:
+                    return
+                target = str(resolve_url(base, reference))
+                if target in seen:
+                    continue
+                seen.add(target)
+                budget -= 1
+                yield FetchAction(
+                    target,
+                    referer=page_text,
+                    think_time=self._jitter(self.delay_low, self.delay_high),
+                )
+
+            links = (
+                refs.all_links if self.follow_hidden else refs.visible_links
+            )
+            for reference in links:
+                target = resolve_url(base, reference)
+                if target.host != entry.host:
+                    continue
+                text = str(target)
+                if text not in seen:
+                    seen.add(text)
+                    frontier.append(text)

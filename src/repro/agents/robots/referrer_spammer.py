@@ -1,0 +1,93 @@
+"""Referrer spammer.
+
+§1's abuse item (2): "sending requests with forged referrer headers to
+automatically create trackback links that inflate a site's search engine
+rankings."  Every request carries a fabricated Referer naming the spam
+site being promoted — a URL this session has never visited, which is
+precisely the behaviour behind the ``UNSEEN_REFERRER%`` attribute ("referrer
+spam bots frequently trip the unseen referrer trigger", §4.2).
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.content import ContentKind
+from repro.http.uri import Url, resolve_url
+from repro.html.links import extract_references
+from repro.util.rng import RngStream
+
+_SPAM_DOMAINS = (
+    "pills-discount",
+    "casino-jackpot",
+    "replica-watches",
+    "cheap-loans",
+    "miracle-diet",
+)
+
+
+class ReferrerSpammerBot(Agent):
+    """Hits site pages with forged referrers pointing at spam sites."""
+
+    kind = "referrer_spammer"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 40,
+        delay_low: float = 0.3,
+        delay_high: float = 2.0,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+
+    def _forged_referer(self) -> str:
+        domain = self.rng.choice(_SPAM_DOMAINS)
+        return (
+            f"http://www.{domain}{self.rng.randint(1, 99)}.example-spam.com/"
+            f"page{self.rng.randint(1, 30)}.html"
+        )
+
+    def browse(self) -> BrowseGenerator:
+        rng = self.rng
+        entry = Url.parse(self.entry_url)
+        budget = self.max_requests
+
+        # Discover a handful of target pages first (spammers hit pages
+        # likely to display trackbacks, not the whole site).
+        result = yield FetchAction(
+            self.entry_url,
+            referer=self._forged_referer(),
+            think_time=self._jitter(self.delay_low, self.delay_high),
+        )
+        budget -= 1
+        targets = [self.entry_url]
+        if (
+            result.response.status == 200
+            and result.response.content_kind is ContentKind.HTML
+        ):
+            refs = extract_references(result.response.text)
+            on_site = [
+                str(resolve_url(entry, ref))
+                for ref in refs.visible_links
+            ]
+            on_site = [u for u in on_site if Url.parse(u).host == entry.host]
+            if on_site:
+                targets.extend(
+                    rng.sample(on_site, min(4, len(on_site)))
+                )
+
+        while budget > 0:
+            budget -= 1
+            yield FetchAction(
+                rng.choice(targets),
+                referer=self._forged_referer(),
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )

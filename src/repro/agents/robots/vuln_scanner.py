@@ -1,0 +1,115 @@
+"""Vulnerability scanner.
+
+§1's abuse item (5): "testing vulnerabilities in servers, CGI scripts,
+etc."  The scanner walks a dictionary of known-exploitable paths (2006
+vintage: formmail, awstats, phpBB, PHP/SQL admin consoles — the §3.2
+complaint log explicitly mentions "new PHP or SQL vulnerabilities").
+Nearly every probe 404s, which is what loads the ``RESPCODE_4XX%``
+attribute and trips the policy's error threshold.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent, BrowseGenerator, FetchAction
+from repro.http.message import Method
+from repro.http.uri import Url
+from repro.util.rng import RngStream
+
+EXPLOIT_PATHS = (
+    # Scanners hit favicon.ico to fingerprint server software.
+    "/favicon.ico",
+    "/admin.php",
+    "/admin/login.php",
+    "/phpmyadmin/index.php",
+    "/phpMyAdmin/main.php",
+    "/mysql/admin.php",
+    "/db/main.php",
+    "/cgi-bin/formmail.pl",
+    "/cgi-bin/FormMail.cgi",
+    "/cgi-bin/awstats.pl",
+    "/awstats/awstats.pl",
+    "/cgi-bin/php.cgi",
+    "/cgi-bin/test-cgi",
+    "/cgi-bin/count.cgi",
+    "/cgi-bin/guestbook.pl",
+    "/xmlrpc.php",
+    "/blog/xmlrpc.php",
+    "/wp-login.php",
+    "/phpbb/viewtopic.php",
+    "/forum/viewtopic.php",
+    "/scripts/root.exe",
+    "/MSADC/root.exe",
+    "/c/winnt/system32/cmd.exe",
+    "/_vti_bin/owssvr.dll",
+    "/iisadmpwd/aexp2.htr",
+    "/default.ida",
+    "/horde/README",
+    "/mail/src/read_body.php",
+    "/cacti/graph_image.php",
+    "/zboard/zboard.php",
+    "/board/write.php",
+    "/include/config.inc.php",
+    "/shop/index.php",
+    "/search.php",
+    "/gb/index.php",
+    "/pivot/modules/module_db.php",
+)
+
+
+class VulnScannerBot(Agent):
+    """Probes exploit paths, mixing GET and HEAD requests."""
+
+    kind = "vuln_scanner"
+    true_label = "robot"
+
+    def __init__(
+        self,
+        client_ip: str,
+        user_agent: str,
+        rng: RngStream,
+        entry_url: str,
+        max_requests: int = 60,
+        head_fraction: float = 0.3,
+        delay_low: float = 0.1,
+        delay_high: float = 0.8,
+    ) -> None:
+        super().__init__(client_ip, user_agent, rng, entry_url)
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        if not 0.0 <= head_fraction <= 1.0:
+            raise ValueError("head_fraction must be in [0, 1]")
+        self.max_requests = max_requests
+        self.head_fraction = head_fraction
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+
+    def browse(self) -> BrowseGenerator:
+        rng = self.rng
+        entry = Url.parse(self.entry_url)
+        probes = rng.shuffled(EXPLOIT_PATHS)
+        budget = min(self.max_requests, len(probes) * 3)
+
+        # Scanners usually grab the front page once to fingerprint the
+        # server before probing.
+        yield FetchAction(
+            self.entry_url,
+            think_time=self._jitter(self.delay_low, self.delay_high),
+        )
+        budget -= 1
+
+        attempt = 0
+        while budget > 0:
+            path = probes[attempt % len(probes)]
+            attempt += 1
+            suffix = "" if attempt <= len(probes) else f"?try={attempt}"
+            method = (
+                Method.HEAD
+                if rng.bernoulli(self.head_fraction)
+                else Method.GET
+            )
+            budget -= 1
+            yield FetchAction(
+                f"http://{entry.host}{path}{suffix}",
+                method=method,
+                think_time=self._jitter(self.delay_low, self.delay_high),
+            )

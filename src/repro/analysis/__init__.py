@@ -1,0 +1,17 @@
+"""Result reduction and rendering: CDFs, tables, ASCII plots, reports."""
+
+from repro.analysis.cdf import DetectionCdfs, detection_cdfs
+from repro.analysis.report import EvaluationReport, generate_report
+from repro.analysis.tables import format_table, render_table1
+from repro.analysis.ascii_plot import bar_chart, line_chart
+
+__all__ = [
+    "DetectionCdfs",
+    "EvaluationReport",
+    "bar_chart",
+    "detection_cdfs",
+    "format_table",
+    "generate_report",
+    "line_chart",
+    "render_table1",
+]

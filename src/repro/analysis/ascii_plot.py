@@ -1,0 +1,100 @@
+"""Terminal plotting: enough to eyeball the paper's figures.
+
+``line_chart`` draws multiple (x, y) series on one axis grid (Figures 2
+and 4); ``bar_chart`` draws labelled stacked bars (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Series = Sequence[tuple[float, float]]
+
+_MARKERS = "*+x@o#"
+
+
+def line_chart(
+    series: dict[str, Series],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot named series as an ASCII scatter/line chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    points = [p for s in series.values() for p in s]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in data:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_max:8.2f} |"
+        elif i == height - 1:
+            prefix = f"{y_min:8.2f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row_cells))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_min:<12.1f}{x_label:^{max(0, width - 24)}}{x_max:>12.1f}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    if y_label:
+        lines.insert(0, y_label)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    stacks: dict[str, Sequence[float]],
+    width: int = 40,
+) -> str:
+    """Horizontal stacked bars, one row per label (Figure 3 layout)."""
+    if not stacks:
+        raise ValueError("need at least one stack")
+    n = len(labels)
+    for name, values in stacks.items():
+        if len(values) != n:
+            raise ValueError(f"stack {name!r} length disagrees with labels")
+    totals = [
+        sum(stacks[name][i] for name in stacks) for i in range(n)
+    ]
+    peak = max(totals) if totals else 1.0
+    peak = peak or 1.0
+
+    chars = _MARKERS
+    lines = []
+    label_width = max(len(label) for label in labels)
+    for i, label in enumerate(labels):
+        bar = ""
+        for j, (name, values) in enumerate(stacks.items()):
+            segment = int(round(values[i] / peak * width))
+            bar += chars[j % len(chars)] * segment
+        lines.append(f"{label:>{label_width}} |{bar} {totals[i]:.0f}")
+    legend = "   ".join(
+        f"{chars[j % len(chars)]} {name}" for j, name in enumerate(stacks)
+    )
+    lines.append(f"{'':>{label_width}} {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Full-report generation: every experiment's rendered output in one text.
+
+Used by ``python -m repro`` and handy for regression-diffing whole
+evaluation runs between code changes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+@dataclass
+class ReportSection:
+    """One experiment's rendered output and its wall-clock cost."""
+
+    name: str
+    text: str
+    seconds: float
+
+
+@dataclass
+class EvaluationReport:
+    """All experiment outputs, in the paper's presentation order."""
+
+    sections: list[ReportSection] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The full report as display text."""
+        parts = []
+        for section in self.sections:
+            header = f"{'=' * 72}\n{section.name}  ({section.seconds:.1f}s)\n{'=' * 72}"
+            parts.append(f"{header}\n{section.text}")
+        return "\n\n".join(parts)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock for the whole evaluation."""
+        return sum(s.seconds for s in self.sections)
+
+
+_ORDER = ("table1", "figure2", "figure3", "table2", "figure4", "overhead")
+
+
+def generate_report(
+    n_sessions: int = 1000,
+    ml_sessions: int = 800,
+    seed: int = 2006,
+    ml_seed: int = 4242,
+    experiments: tuple[str, ...] = _ORDER,
+) -> EvaluationReport:
+    """Run the selected experiments and collect their reports.
+
+    The workload-backed experiments share one cached deployment run; the
+    ML-backed experiments share one dataset, so the report costs roughly
+    one CoDeeN-week replay plus one ML-study replay.
+    """
+    report = EvaluationReport()
+    for name in experiments:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: "
+                f"{sorted(EXPERIMENTS)}"
+            )
+        kwargs: dict = {}
+        if name in ("table1", "figure2", "figure3", "overhead"):
+            kwargs = {"n_sessions": n_sessions, "seed": seed}
+        elif name in ("table2", "figure4"):
+            kwargs = {"n_sessions": ml_sessions, "seed": ml_seed}
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        report.sections.append(
+            ReportSection(name=name, text=result.render(), seconds=elapsed)
+        )
+    return report

@@ -1,0 +1,64 @@
+"""Text-table rendering, including the Table 1 layout."""
+
+from __future__ import annotations
+
+from repro.detection.set_algebra import SetAlgebraSummary
+
+
+def format_table(
+    headers: list[str], rows: list[list[str]], align_right: set[int] | None = None
+) -> str:
+    """Render a simple aligned text table."""
+    align_right = align_right or set()
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width disagrees with headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i in align_right:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render_row(headers)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(summary: SetAlgebraSummary) -> str:
+    """Render the census in the paper's Table 1 layout."""
+    total = summary.total_sessions
+
+    def row(description: str, count: int) -> list[str]:
+        pct = 100.0 * count / total if total else 0.0
+        return [description, f"{count:,}", f"{pct:.1f}"]
+
+    rows = [
+        row("Downloaded CSS", summary.css_downloads),
+        row("Executed JavaScript", summary.js_executions),
+        row("Mouse movement detected", summary.mouse_movements),
+        row("Passed CAPTCHA test", summary.captcha_passes),
+        row("Followed hidden links", summary.hidden_link_follows),
+        row("Browser type mismatch", summary.ua_mismatches),
+        row("Total sessions", total),
+    ]
+    table = format_table(
+        ["Description", "# of Sessions", "Percentage(%)"],
+        rows,
+        align_right={1, 2},
+    )
+    derived = (
+        f"\nS_H (human upper bound): {summary.human_upper_count:,} "
+        f"({summary.upper_bound:.1%})"
+        f"\nlower bound (mouse movement): {summary.lower_bound:.1%}"
+        f"\nbound gap: {summary.bound_gap:.1%}"
+        f"\nmax false positive rate: {summary.max_false_positive_rate:.1%}"
+    )
+    return table + derived

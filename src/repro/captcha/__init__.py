@@ -1,0 +1,18 @@
+"""CAPTCHA subsystem: optional challenges with a bandwidth incentive.
+
+The paper used CAPTCHA twice: as the Table 1 "Passed CAPTCHA test" row
+(9.1% of sessions — it was *optional*, offered "with an incentive of
+getting higher bandwidth") and as ground-truth labelling for the §4.2
+machine-learning dataset.  Images are not rendered; the model captures
+who gets offered a test, who attempts it, and who solves it.
+"""
+
+from repro.captcha.challenge import CaptchaChallenge, CaptchaOutcome
+from repro.captcha.service import CaptchaConfig, CaptchaService
+
+__all__ = [
+    "CaptchaChallenge",
+    "CaptchaConfig",
+    "CaptchaOutcome",
+    "CaptchaService",
+]

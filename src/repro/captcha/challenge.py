@@ -1,0 +1,56 @@
+"""CAPTCHA challenge model.
+
+A challenge has a difficulty in [0, 1]; solvers have a skill level.  A
+human with normal vision solves an average-difficulty distorted-text test
+with high probability; contemporary OCR attacks solved a small fraction
+(the paper notes "some CAPTCHA tests can be solved by character
+recognition" but saw no abuse from passers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.ids import random_hex_key
+from repro.util.rng import RngStream
+
+
+class CaptchaOutcome(Enum):
+    """Result of presenting a challenge."""
+
+    NOT_OFFERED = "not_offered"
+    DECLINED = "declined"
+    PASSED = "passed"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class CaptchaChallenge:
+    """One generated challenge."""
+
+    challenge_id: str
+    difficulty: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError("difficulty must be in [0, 1]")
+
+    def solve_probability(self, solver_skill: float) -> float:
+        """Chance a solver of the given skill passes this challenge.
+
+        Skill 1.0 is an attentive human (≈98% on average difficulty);
+        skill around 0.15 models a 2006 OCR attack.
+        """
+        if not 0.0 <= solver_skill <= 1.0:
+            raise ValueError("solver_skill must be in [0, 1]")
+        base = solver_skill * (1.0 - 0.35 * self.difficulty)
+        return max(0.0, min(1.0, base))
+
+
+def generate_challenge(rng: RngStream) -> CaptchaChallenge:
+    """Mint a challenge with mid-range difficulty."""
+    return CaptchaChallenge(
+        challenge_id=random_hex_key(rng, 64),
+        difficulty=rng.uniform(0.3, 0.8),
+    )

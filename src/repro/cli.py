@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Examples::
+
+    python -m repro list
+    python -m repro table1 --sessions 2000 --seed 7
+    python -m repro figure4 --sessions 1200
+    python -m repro all --sessions 1000 --ml-sessions 800
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import generate_report
+from repro.experiments.registry import EXPERIMENTS
+
+_WORKLOAD_EXPERIMENTS = ("table1", "figure2", "figure3", "overhead")
+_ML_EXPERIMENTS = ("table2", "figure4")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Securing Web Service by Automatic Robot "
+            "Detection' (USENIX ATC 2006): regenerate any table or "
+            "figure from the paper's evaluation."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(EXPERIMENTS), "all", "list"],
+        help="experiment id, 'all' for the full report, 'list' to enumerate",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=1000,
+        help="CoDeeN-week sessions (paper: 929,922; default 1000)",
+    )
+    parser.add_argument(
+        "--ml-sessions", type=int, default=800,
+        help="ML-study sessions (paper: 167,246; default 800)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2006, help="workload seed"
+    )
+    parser.add_argument(
+        "--ml-seed", type=int, default=4242, help="ML-study seed"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.experiment == "all":
+        report = generate_report(
+            n_sessions=args.sessions,
+            ml_sessions=args.ml_sessions,
+            seed=args.seed,
+            ml_seed=args.ml_seed,
+        )
+        print(report.render())
+        print(f"\ntotal: {report.total_seconds:.1f}s")
+        return 0
+
+    runner = EXPERIMENTS[args.experiment]
+    if args.experiment in _ML_EXPERIMENTS:
+        result = runner(n_sessions=args.ml_sessions, seed=args.ml_seed)
+    else:
+        result = runner(n_sessions=args.sessions, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Standard browser testing (§2.2): CSS beacons and the UA echo probe."""
+
+from __future__ import annotations
+
+from repro.detection.events import DetectionEvent, EventKind
+from repro.detection.session import SessionState
+from repro.instrument.keys import BeaconHit, BeaconKind
+from repro.instrument.ua_probe import sanitize_user_agent
+
+
+class BrowserTestDetector:
+    """Turns CSS-beacon and UA-probe fetches into evidence.
+
+    A UA-probe fetch proves JavaScript execution (S_JS membership); when
+    the JavaScript-echoed agent string disagrees with the User-Agent
+    *header* for the session, the client forged one of them — the
+    "browser type mismatch" row of Table 1.
+    """
+
+    def observe_hit(
+        self,
+        state: SessionState,
+        hit: BeaconHit,
+        request_index: int,
+        timestamp: float,
+    ) -> list[DetectionEvent]:
+        """Process a registry hit for this detector's probe kinds."""
+        probe = hit.probe
+        events: list[DetectionEvent] = []
+
+        if probe.kind is BeaconKind.CSS_BEACON:
+            if state.mark_first("css_beacon_at", request_index):
+                events.append(
+                    DetectionEvent(
+                        kind=EventKind.CSS_BEACON_FETCH,
+                        session_id=state.session_id,
+                        request_index=request_index,
+                        timestamp=timestamp,
+                        detail=probe.path,
+                    )
+                )
+            return events
+
+        if probe.kind is not BeaconKind.UA_PROBE:
+            return events
+
+        if state.mark_first("js_executed_at", request_index):
+            events.append(
+                DetectionEvent(
+                    kind=EventKind.JS_EXECUTED,
+                    session_id=state.session_id,
+                    request_index=request_index,
+                    timestamp=timestamp,
+                    detail="ua probe fetched",
+                )
+            )
+
+        echoed = hit.echoed_user_agent or ""
+        claimed = sanitize_user_agent(state.key.user_agent)
+        if echoed and echoed != claimed:
+            if state.mark_first("ua_mismatch_at", request_index):
+                events.append(
+                    DetectionEvent(
+                        kind=EventKind.UA_MISMATCH,
+                        session_id=state.session_id,
+                        request_index=request_index,
+                        timestamp=timestamp,
+                        detail=f"claimed={claimed[:24]!r} echoed={echoed[:24]!r}",
+                    )
+                )
+        return events

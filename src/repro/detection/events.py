@@ -1,0 +1,59 @@
+"""Detection events: what the instrumentation observed about a session."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class EventKind(Enum):
+    """Kinds of evidence the detectors can emit."""
+
+    SESSION_STARTED = "session_started"
+    SESSION_EXPIRED = "session_expired"
+    CSS_BEACON_FETCH = "css_beacon_fetch"
+    BEACON_JS_FETCH = "beacon_js_fetch"
+    JS_EXECUTED = "js_executed"
+    MOUSE_EVENT_VALID = "mouse_event_valid"
+    MOUSE_EVENT_WRONG_KEY = "mouse_event_wrong_key"
+    HIDDEN_LINK_FOLLOWED = "hidden_link_followed"
+    UA_MISMATCH = "ua_mismatch"
+    CAPTCHA_PASSED = "captcha_passed"
+    CAPTCHA_FAILED = "captcha_failed"
+
+    @property
+    def is_human_evidence(self) -> bool:
+        """Evidence that a human is driving the client."""
+        return self in (EventKind.MOUSE_EVENT_VALID, EventKind.CAPTCHA_PASSED)
+
+    @property
+    def is_robot_evidence(self) -> bool:
+        """Evidence that the client is automated."""
+        return self in (
+            EventKind.MOUSE_EVENT_WRONG_KEY,
+            EventKind.HIDDEN_LINK_FOLLOWED,
+            EventKind.UA_MISMATCH,
+        )
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One piece of evidence, tied to the session and request that caused it.
+
+    ``request_index`` is 1-based within the session — Figure 2's
+    "number of requests required to detect" is exactly this value for the
+    first event of each kind.
+    """
+
+    kind: EventKind
+    session_id: str
+    request_index: int
+    timestamp: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return (
+            f"[{self.timestamp:10.1f}] {self.session_id} "
+            f"req#{self.request_index}: {self.kind.value}{extra}"
+        )

@@ -1,0 +1,39 @@
+"""Hidden-link trap detection (§2.2).
+
+Fetching the trap *page* is robot evidence — no human can see the link.
+Fetching the transparent trap *image* is ordinary rendering behaviour
+(browsers fetch every <img>), so it generates no evidence.
+"""
+
+from __future__ import annotations
+
+from repro.detection.events import DetectionEvent, EventKind
+from repro.detection.session import SessionState
+from repro.instrument.keys import BeaconHit, BeaconKind
+
+
+class HiddenLinkDetector:
+    """Turns trap-page fetches into robot evidence."""
+
+    def observe_hit(
+        self,
+        state: SessionState,
+        hit: BeaconHit,
+        request_index: int,
+        timestamp: float,
+    ) -> list[DetectionEvent]:
+        """Process a registry hit for this detector's probe kinds."""
+        probe = hit.probe
+        if probe.kind is not BeaconKind.TRAP_PAGE:
+            return []
+        if not state.mark_first("hidden_link_at", request_index):
+            return []
+        return [
+            DetectionEvent(
+                kind=EventKind.HIDDEN_LINK_FOLLOWED,
+                session_id=state.session_id,
+                request_index=request_index,
+                timestamp=timestamp,
+                detail=probe.path,
+            )
+        ]

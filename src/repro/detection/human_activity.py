@@ -1,0 +1,69 @@
+"""Human activity detection (§2.1): verify keyed mouse-event fetches.
+
+The server-side check from step 4 of the protocol: "The server finds the
+entry for the client IP, and checks if k in the URL matches. If so, it
+classifies the session as human. If the k does not match ... it is
+classified as a robot."  A decoy-key fetch is the signature of a robot
+that scraped the beacon script for URLs.
+"""
+
+from __future__ import annotations
+
+from repro.detection.events import DetectionEvent, EventKind
+from repro.detection.session import SessionState
+from repro.instrument.keys import BeaconHit, BeaconKind
+
+
+class HumanActivityDetector:
+    """Turns mouse-image and beacon-script fetches into evidence."""
+
+    def observe_hit(
+        self,
+        state: SessionState,
+        hit: BeaconHit,
+        request_index: int,
+        timestamp: float,
+    ) -> list[DetectionEvent]:
+        """Process a registry hit for this detector's probe kinds."""
+        probe = hit.probe
+        events: list[DetectionEvent] = []
+
+        if probe.kind is BeaconKind.BEACON_JS:
+            if state.mark_first("beacon_js_at", request_index):
+                events.append(
+                    DetectionEvent(
+                        kind=EventKind.BEACON_JS_FETCH,
+                        session_id=state.session_id,
+                        request_index=request_index,
+                        timestamp=timestamp,
+                        detail=probe.path,
+                    )
+                )
+            return events
+
+        if probe.kind is not BeaconKind.MOUSE_IMAGE:
+            return events
+
+        if probe.is_real_key:
+            if state.mark_first("mouse_event_at", request_index):
+                events.append(
+                    DetectionEvent(
+                        kind=EventKind.MOUSE_EVENT_VALID,
+                        session_id=state.session_id,
+                        request_index=request_index,
+                        timestamp=timestamp,
+                        detail=f"key={probe.key[:8]}... page={probe.page_path}",
+                    )
+                )
+        else:
+            state.wrong_key_fetches += 1
+            events.append(
+                DetectionEvent(
+                    kind=EventKind.MOUSE_EVENT_WRONG_KEY,
+                    session_id=state.session_id,
+                    request_index=request_index,
+                    timestamp=timestamp,
+                    detail=f"decoy key for page={probe.page_path}",
+                )
+            )
+        return events

@@ -1,0 +1,157 @@
+"""Online per-request classification and requests-to-detect accounting.
+
+The paper's two schemes have different speed/accuracy profiles (§3.1):
+"the standard browser testing is a quick method to get results, while
+human activity detection will provide more accurate results provided a
+reasonable amount of data".  :class:`OnlineClassifier` encodes the paper's
+decision order on live sessions:
+
+1. hard robot evidence (wrong beacon key, hidden-link fetch, UA mismatch)
+   -> definitive ROBOT;
+2. a correctly keyed mouse event -> definitive HUMAN;
+3. JavaScript executed but still no mouse event after a grace period ->
+   tentative ROBOT ("these definitely belong to robots" at session end);
+4. CSS beacon fetched -> tentative HUMAN (standard-browser behaviour);
+5. otherwise UNDECIDED until ``min_requests``, then tentative ROBOT (the
+   set algebra labels "all other sessions" robots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.session import SessionState
+from repro.detection.verdict import Label, Verdict
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Thresholds for the online decision order.
+
+    ``js_no_mouse_grace`` is how many requests after JavaScript execution
+    we wait for a mouse event before tentatively calling the session a
+    robot; the paper's offline analysis applies the same rule at session
+    end with an infinite horizon.
+    """
+
+    min_requests: int = 10
+    js_no_mouse_grace: int = 30
+
+    def __post_init__(self) -> None:
+        if self.min_requests < 1:
+            raise ValueError("min_requests must be >= 1")
+        if self.js_no_mouse_grace < 0:
+            raise ValueError("js_no_mouse_grace must be >= 0")
+
+
+class OnlineClassifier:
+    """Stateless verdict function over live session state."""
+
+    def __init__(self, config: OnlineConfig | None = None) -> None:
+        self._config = config or OnlineConfig()
+
+    @property
+    def config(self) -> OnlineConfig:
+        """The decision thresholds."""
+        return self._config
+
+    def classify(self, state: SessionState) -> Verdict:
+        """Current verdict for a (possibly still live) session."""
+        n = state.request_count
+
+        if state.wrong_key_fetches > 0:
+            return Verdict(
+                Label.ROBOT, "fetched beacon URL with wrong key",
+                definitive=True, at_request=n,
+            )
+        if state.followed_hidden_link:
+            return Verdict(
+                Label.ROBOT, "followed hidden link",
+                definitive=True, at_request=n,
+            )
+        if state.ua_mismatched:
+            return Verdict(
+                Label.ROBOT, "User-Agent header contradicts JavaScript echo",
+                definitive=True, at_request=n,
+            )
+        if state.in_mouse_set:
+            return Verdict(
+                Label.HUMAN, "correctly keyed mouse event",
+                definitive=True, at_request=state.mouse_event_at or n,
+            )
+        if state.passed_captcha:
+            return Verdict(
+                Label.HUMAN, "passed CAPTCHA",
+                definitive=True, at_request=state.captcha_passed_at or n,
+            )
+        if (
+            state.in_js_set
+            and state.js_executed_at is not None
+            and n - state.js_executed_at >= self._config.js_no_mouse_grace
+        ):
+            return Verdict(
+                Label.ROBOT, "executed JavaScript but produced no mouse event",
+                at_request=n,
+            )
+        if state.in_css_set:
+            return Verdict(
+                Label.HUMAN, "downloaded beacon CSS (standard browser pattern)",
+                at_request=state.css_beacon_at or n,
+            )
+        if n >= self._config.min_requests:
+            return Verdict(
+                Label.ROBOT, "no browser-like evidence after minimum requests",
+                at_request=n,
+            )
+        return Verdict(Label.UNDECIDED, "insufficient requests", at_request=n)
+
+    def classify_final(self, state: SessionState) -> Verdict:
+        """Session-end verdict: the set algebra with hard evidence first."""
+        if state.wrong_key_fetches > 0:
+            return Verdict(
+                Label.ROBOT, "fetched beacon URL with wrong key",
+                definitive=True, at_request=state.request_count,
+            )
+        if state.followed_hidden_link:
+            return Verdict(
+                Label.ROBOT, "followed hidden link",
+                definitive=True, at_request=state.request_count,
+            )
+        if state.ua_mismatched:
+            return Verdict(
+                Label.ROBOT, "User-Agent header contradicts JavaScript echo",
+                definitive=True, at_request=state.request_count,
+            )
+        if state.in_mouse_set:
+            return Verdict(
+                Label.HUMAN, "correctly keyed mouse event",
+                definitive=True, at_request=state.mouse_event_at or 0,
+            )
+        if state.is_human_by_set_algebra:
+            return Verdict(
+                Label.HUMAN, "in S_H = (S_CSS ∪ S_MM) − (S_JS − S_MM)",
+                at_request=state.request_count,
+            )
+        return Verdict(
+            Label.ROBOT, "outside S_H", at_request=state.request_count
+        )
+
+
+@dataclass(frozen=True)
+class DetectionLatency:
+    """Figure 2 samples for one session: first-evidence request indices."""
+
+    session_id: str
+    css_at: int | None
+    beacon_js_at: int | None
+    mouse_at: int | None
+
+    @classmethod
+    def from_state(cls, state: SessionState) -> "DetectionLatency":
+        """Extract the latency sample from a finished session."""
+        return cls(
+            session_id=state.session_id,
+            css_at=state.css_beacon_at,
+            beacon_js_at=state.beacon_js_at,
+            mouse_at=state.mouse_event_at,
+        )

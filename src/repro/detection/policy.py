@@ -1,0 +1,161 @@
+"""Post-classification robot handling (§3.2).
+
+"After we classify a session to belong to a robot, we further analyzed
+its behavior (by checking CGI request rate, GET request rate, error
+response codes, etc.), and blocked its traffic as soon as its behavior
+deviated from predefined thresholds."
+
+:class:`RobotPolicy` implements exactly that staging: sessions classified
+as robots are *watched*; when any behavioural threshold trips, the session
+is *blocked* and subsequent requests are answered with 403 by the proxy.
+Rates use an exponentially decayed per-minute estimate so the policy runs
+in O(1) memory per session.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.detection.session import SessionState
+from repro.detection.verdict import Label, Verdict
+from repro.http.message import Method, Request
+from repro.util.timeutil import MINUTE
+
+
+class PolicyAction(Enum):
+    """What the proxy should do with a request."""
+
+    ALLOW = "allow"
+    WATCH = "watch"
+    BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Behavioural thresholds for watched robot sessions (per minute)."""
+
+    cgi_rate_limit: float = 10.0
+    get_rate_limit: float = 120.0
+    error_4xx_limit: int = 15
+    wrong_key_limit: int = 1
+    block_undecided: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cgi_rate_limit <= 0 or self.get_rate_limit <= 0:
+            raise ValueError("rate limits must be positive")
+        if self.error_4xx_limit < 1:
+            raise ValueError("error_4xx_limit must be >= 1")
+
+
+@dataclass
+class _WatchState:
+    """Decayed per-minute rate estimates for one watched session."""
+
+    cgi_rate: float = 0.0
+    get_rate: float = 0.0
+    last_update: float = 0.0
+    blocked: bool = False
+    block_reason: str = ""
+
+    def bump(self, now: float, is_cgi: bool, is_get: bool) -> None:
+        """Add one request to the decayed rate estimates."""
+        if self.last_update:
+            elapsed = max(0.0, now - self.last_update)
+            decay = math.exp(-elapsed / MINUTE)
+            self.cgi_rate *= decay
+            self.get_rate *= decay
+        self.last_update = now
+        if is_cgi:
+            self.cgi_rate += 1.0
+        if is_get:
+            self.get_rate += 1.0
+
+
+@dataclass
+class PolicyDecision:
+    """The action for one request plus the reason when blocking."""
+
+    action: PolicyAction
+    reason: str = ""
+
+
+class RobotPolicy:
+    """Watches robot-classified sessions and blocks misbehaving ones."""
+
+    def __init__(self, config: PolicyConfig | None = None) -> None:
+        self._config = config or PolicyConfig()
+        self._watch: dict[str, _WatchState] = {}
+        self.blocked_sessions = 0
+        self.blocked_requests = 0
+
+    @property
+    def config(self) -> PolicyConfig:
+        """The behavioural thresholds."""
+        return self._config
+
+    def evaluate(
+        self, state: SessionState, verdict: Verdict, request: Request
+    ) -> PolicyDecision:
+        """Decide what to do with ``request`` given the session verdict."""
+        cfg = self._config
+        if verdict.label is Label.HUMAN:
+            self._watch.pop(state.session_id, None)
+            return PolicyDecision(PolicyAction.ALLOW)
+        if verdict.label is Label.UNDECIDED and not cfg.block_undecided:
+            return PolicyDecision(PolicyAction.ALLOW)
+
+        watch = self._watch.get(state.session_id)
+        if watch is None:
+            watch = _WatchState()
+            self._watch[state.session_id] = watch
+        if watch.blocked:
+            self.blocked_requests += 1
+            return PolicyDecision(PolicyAction.BLOCK, watch.block_reason)
+
+        watch.bump(
+            request.timestamp,
+            is_cgi=request.path_kind.value == "cgi",
+            is_get=request.method is Method.GET,
+        )
+
+        reason = self._threshold_tripped(state, watch)
+        if reason is not None:
+            watch.blocked = True
+            watch.block_reason = reason
+            self.blocked_sessions += 1
+            self.blocked_requests += 1
+            return PolicyDecision(PolicyAction.BLOCK, reason)
+        return PolicyDecision(PolicyAction.WATCH)
+
+    def is_blocked(self, session_id: str) -> bool:
+        """True when a session has been blocked."""
+        watch = self._watch.get(session_id)
+        return watch is not None and watch.blocked
+
+    def forget(self, session_id: str) -> None:
+        """Drop watch state for a finished session."""
+        self._watch.pop(session_id, None)
+
+    def _threshold_tripped(
+        self, state: SessionState, watch: _WatchState
+    ) -> str | None:
+        cfg = self._config
+        if state.wrong_key_fetches >= cfg.wrong_key_limit:
+            return (
+                f"wrong-key beacon fetches >= {cfg.wrong_key_limit}"
+            )
+        if watch.cgi_rate > cfg.cgi_rate_limit:
+            return (
+                f"CGI request rate {watch.cgi_rate:.1f}/min exceeds "
+                f"{cfg.cgi_rate_limit:.0f}/min"
+            )
+        if watch.get_rate > cfg.get_rate_limit:
+            return (
+                f"GET request rate {watch.get_rate:.1f}/min exceeds "
+                f"{cfg.get_rate_limit:.0f}/min"
+            )
+        if state.status_4xx >= cfg.error_4xx_limit:
+            return f"4xx responses >= {cfg.error_4xx_limit}"
+        return None

@@ -1,0 +1,126 @@
+"""The session set algebra of §3.1.
+
+Given the per-session evidence flags of a finished experiment:
+
+    S_H = (S_CSS ∪ S_MM) − (S_JS − S_MM)
+
+``|S_MM| / total`` is a *lower* bound on the human fraction (every valid
+keyed mouse event had a human behind it), ``|S_H| / total`` an *upper*
+bound (sessions that looked like browsers minus those proven automated),
+and the worst-case false-positive rate is the gap normalised by the
+non-human population:
+
+    max FPR = (upper − lower) / (1 − lower)
+
+which in the paper evaluates to 1.9% / 77.7% = 2.4%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.detection.session import SessionState
+
+
+@dataclass(frozen=True)
+class SetAlgebraSummary:
+    """The Table 1 census plus the derived §3.1 quantities."""
+
+    total_sessions: int
+    css_downloads: int
+    js_executions: int
+    mouse_movements: int
+    captcha_passes: int
+    hidden_link_follows: int
+    ua_mismatches: int
+    human_upper_count: int
+
+    @property
+    def lower_bound(self) -> float:
+        """Human-fraction lower bound: |S_MM| / total."""
+        return self._fraction(self.mouse_movements)
+
+    @property
+    def upper_bound(self) -> float:
+        """Human-fraction upper bound: |S_H| / total."""
+        return self._fraction(self.human_upper_count)
+
+    @property
+    def bound_gap(self) -> float:
+        """Upper minus lower bound (the paper's 1.9%)."""
+        return self.upper_bound - self.lower_bound
+
+    @property
+    def max_false_positive_rate(self) -> float:
+        """Worst-case FPR: gap / (1 − lower bound) (the paper's 2.4%)."""
+        denominator = 1.0 - self.lower_bound
+        if denominator <= 0.0:
+            return 0.0
+        return self.bound_gap / denominator
+
+    def _fraction(self, count: int) -> float:
+        if self.total_sessions == 0:
+            return 0.0
+        return count / self.total_sessions
+
+    def fraction(self, field_name: str) -> float:
+        """Fraction of total sessions for any census field."""
+        return self._fraction(getattr(self, field_name))
+
+
+class SessionSets:
+    """Accumulates session-evidence sets and evaluates the formula.
+
+    Can be built incrementally (``add``) or in one shot (``from_sessions``)
+    so both streaming sinks and post-hoc analysis use the same code.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.css = 0
+        self.js = 0
+        self.mouse = 0
+        self.captcha = 0
+        self.hidden = 0
+        self.mismatch = 0
+        self.human_upper = 0
+
+    @classmethod
+    def from_sessions(cls, sessions: Iterable[SessionState]) -> "SessionSets":
+        """Build the sets from finished sessions."""
+        sets = cls()
+        for state in sessions:
+            sets.add(state)
+        return sets
+
+    def add(self, state: SessionState) -> None:
+        """Accumulate one finished session."""
+        self.total += 1
+        if state.in_css_set:
+            self.css += 1
+        if state.in_js_set:
+            self.js += 1
+        if state.in_mouse_set:
+            self.mouse += 1
+        if state.passed_captcha:
+            self.captcha += 1
+        if state.followed_hidden_link:
+            self.hidden += 1
+        if state.ua_mismatched:
+            self.mismatch += 1
+        if state.is_human_by_set_algebra:
+            self.human_upper += 1
+
+    def summary(self) -> SetAlgebraSummary:
+        """Freeze the accumulated counts into a summary."""
+        return SetAlgebraSummary(
+            total_sessions=self.total,
+            css_downloads=self.css,
+            js_executions=self.js,
+            mouse_movements=self.mouse,
+            captcha_passes=self.captcha,
+            hidden_link_follows=self.hidden,
+            ua_mismatches=self.mismatch,
+            human_upper_count=self.human_upper,
+        )

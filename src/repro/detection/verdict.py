@@ -1,0 +1,33 @@
+"""Classification verdicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Label(Enum):
+    """Session classification outcomes."""
+
+    HUMAN = "human"
+    ROBOT = "robot"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A classification with its justification.
+
+    ``definitive`` marks verdicts backed by hard evidence (a correctly
+    keyed mouse event, a wrong-key fetch, a hidden-link fetch) as opposed
+    to behavioural inference (CSS-but-no-JS looks like a browser).
+    """
+
+    label: Label
+    reason: str
+    definitive: bool = False
+    at_request: int = 0
+
+    def __str__(self) -> str:
+        kind = "definitive" if self.definitive else "tentative"
+        return f"{self.label.value} ({kind}: {self.reason})"

@@ -1,0 +1,11 @@
+"""One module per paper table/figure, plus the overhead study.
+
+Each experiment exposes ``run(...)`` returning a result object with a
+``render()`` text report, and the registry maps experiment ids
+("table1", "figure2", ...) to runners so benchmarks, examples and the
+command line share one entry point.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,89 @@
+"""Figure 2: CDF of the number of requests needed to detect humans.
+
+Paper claims: 80% of mouse-event clients detected within 20 requests,
+95% within 57; CSS downloads classified 95% within 19 requests and 99%
+within 48; JavaScript-file downloads behave like CSS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ascii_plot import line_chart
+from repro.analysis.cdf import DetectionCdfs, detection_cdfs
+from repro.experiments.table1 import run_codeen_week_cached
+from repro.workload.codeen import CodeenWeekResult
+
+PAPER_FIGURE2 = {
+    ("mouse", 20): 0.80,
+    ("mouse", 57): 0.95,
+    ("css", 19): 0.95,
+    ("css", 48): 0.99,
+}
+
+
+@dataclass
+class Figure2Result:
+    """The three CDFs plus headline readings."""
+
+    result: CodeenWeekResult
+    cdfs: DetectionCdfs
+
+    def readings(self) -> dict[tuple[str, int], float]:
+        """Measured CDF values at the paper's checkpoints."""
+        out: dict[tuple[str, int], float] = {}
+        for (curve, x), _ in PAPER_FIGURE2.items():
+            ecdf = self.cdfs.mouse if curve == "mouse" else self.cdfs.css
+            out[(curve, x)] = (
+                ecdf.fraction_at_or_below(x) if ecdf is not None else 0.0
+            )
+        return out
+
+    def quantiles(self) -> dict[str, dict[float, float]]:
+        """Requests needed to reach 80/95/99% per curve."""
+        out: dict[str, dict[float, float]] = {}
+        for name, ecdf in (
+            ("css", self.cdfs.css),
+            ("beacon_js", self.cdfs.beacon_js),
+            ("mouse", self.cdfs.mouse),
+        ):
+            if ecdf is None:
+                continue
+            out[name] = {q: ecdf.quantile(q) for q in (0.80, 0.95, 0.99)}
+        return out
+
+    def render(self) -> str:
+        """Text report with an ASCII rendition of the figure."""
+        readings = self.readings()
+        lines = [
+            "Figure 2 — CDF of # requests needed to detect "
+            f"({len(self.result.latencies):,} sessions with signals)",
+            "",
+            line_chart(
+                {
+                    name: points
+                    for name, points in self.cdfs.series(100, 2).items()
+                },
+                x_label="Number of Requests Required to Detect",
+                y_label="CDF",
+            ),
+            "",
+            "paper vs measured:",
+        ]
+        for (curve, x), paper_value in PAPER_FIGURE2.items():
+            lines.append(
+                f"  {curve:<6} within {x:3d} requests: paper "
+                f"{paper_value:.0%}   measured {readings[(curve, x)]:.1%}"
+            )
+        for name, quantile_map in self.quantiles().items():
+            parts = ", ".join(
+                f"{q:.0%} at {int(v)} reqs" for q, v in quantile_map.items()
+            )
+            lines.append(f"  {name}: {parts}")
+        return "\n".join(lines)
+
+
+def run(n_sessions: int = 3000, seed: int = 2006) -> Figure2Result:
+    """Run the Figure 2 experiment (shares the Table 1 workload)."""
+    result = run_codeen_week_cached(n_sessions, seed)
+    return Figure2Result(result=result, cdfs=detection_cdfs(result.latencies))

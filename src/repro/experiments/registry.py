@@ -1,0 +1,27 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments import figure2, figure3, figure4, overhead, table1, table2
+
+EXPERIMENTS: dict[str, Callable[..., Any]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "overhead": overhead.run,
+}
+
+
+def run_experiment(name: str, **kwargs: Any) -> Any:
+    """Run an experiment by id; result objects all offer ``render()``."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

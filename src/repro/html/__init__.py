@@ -1,0 +1,43 @@
+"""A small HTML engine: tokenize, parse, rewrite, serialize, extract links.
+
+The paper's server-side instrumentation rewrites every HTML page it serves
+(injecting scripts, a CSS link and a hidden link), and every agent model
+parses served pages to decide what to fetch next.  This package implements
+just enough of HTML for those two jobs — a forgiving tokenizer, an element
+tree, and reference extraction that distinguishes visible links, embedded
+objects and hidden (transparent-image) links.
+"""
+
+from repro.html.document import Element, Text, walk
+from repro.html.links import (
+    PageReferences,
+    extract_references,
+    extract_references_from_tree,
+)
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+from repro.html.tokenizer import (
+    CommentToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    Token,
+    tokenize,
+)
+
+__all__ = [
+    "CommentToken",
+    "Element",
+    "EndTagToken",
+    "PageReferences",
+    "StartTagToken",
+    "Text",
+    "TextToken",
+    "Token",
+    "extract_references",
+    "extract_references_from_tree",
+    "parse_html",
+    "serialize",
+    "tokenize",
+    "walk",
+]

@@ -1,0 +1,80 @@
+"""Element tree for parsed HTML.
+
+A deliberately small DOM: elements with lowercase tag names, an attribute
+dict, and mixed children (elements and text).  Enough structure for the
+instrumenter to insert nodes at precise places (a handler attribute on
+<body>, a <link> inside <head>, a trap anchor before </body>) and for
+agents to walk pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+
+@dataclass
+class Text:
+    """A text node."""
+
+    data: str
+
+
+@dataclass
+class Element:
+    """An element node with attributes and ordered children."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list[Union["Element", Text]] = field(default_factory=list)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Attribute lookup (names are stored lowercased by the parser)."""
+        return self.attrs.get(name.lower(), default)
+
+    def set(self, name: str, value: str) -> None:
+        """Set an attribute."""
+        self.attrs[name.lower()] = value
+
+    def append(self, node: Union["Element", Text]) -> None:
+        """Append a child node."""
+        self.children.append(node)
+
+    def prepend(self, node: Union["Element", Text]) -> None:
+        """Insert a child node at the front."""
+        self.children.insert(0, node)
+
+    def find(self, tag: str) -> "Element | None":
+        """First descendant element with the given tag (depth-first)."""
+        lowered = tag.lower()
+        for node in walk(self):
+            if isinstance(node, Element) and node.tag == lowered and node is not self:
+                return node
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All descendant elements with the given tag, in document order."""
+        lowered = tag.lower()
+        return [
+            node
+            for node in walk(self)
+            if isinstance(node, Element) and node.tag == lowered and node is not self
+        ]
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        parts = [node.data for node in walk(self) if isinstance(node, Text)]
+        return "".join(parts)
+
+
+Node = Union[Element, Text]
+
+
+def walk(root: Node) -> Iterator[Node]:
+    """Depth-first pre-order traversal including ``root`` itself."""
+    stack: list[Node] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Element):
+            stack.extend(reversed(node.children))

@@ -1,0 +1,127 @@
+"""Reference extraction: what a client could fetch next from a page.
+
+This is the agent-side view of a served page.  Browsers fetch embedded
+objects (stylesheets, scripts, images, audio) and follow *visible* links;
+crawlers follow every link including hidden ones; JavaScript-capable
+clients additionally look at inline scripts and the body's event handlers.
+The hidden-link trap from §2.2 — an anchor whose only content is a
+transparent 1×1 image — is recognised here so the agent models can choose
+to respect or ignore visibility exactly as their real counterparts do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.html.document import Element, Text, walk
+from repro.html.parser import parse_html
+
+
+@dataclass
+class PageReferences:
+    """All outbound references of one HTML page, classified."""
+
+    stylesheets: list[str] = field(default_factory=list)
+    scripts: list[str] = field(default_factory=list)
+    images: list[str] = field(default_factory=list)
+    audio: list[str] = field(default_factory=list)
+    visible_links: list[str] = field(default_factory=list)
+    hidden_links: list[str] = field(default_factory=list)
+    inline_scripts: list[str] = field(default_factory=list)
+    body_event_handlers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def embedded_objects(self) -> list[str]:
+        """Everything a rendering browser fetches automatically."""
+        return [*self.stylesheets, *self.scripts, *self.images, *self.audio]
+
+    @property
+    def all_links(self) -> list[str]:
+        """Visible and hidden anchors together (a blind crawler's view)."""
+        return [*self.visible_links, *self.hidden_links]
+
+
+def extract_references(html: str) -> PageReferences:
+    """Parse ``html`` and classify every outbound reference."""
+    return extract_references_from_tree(parse_html(html))
+
+
+def extract_references_from_tree(root: Element) -> PageReferences:
+    """Classify references from an already-parsed tree."""
+    refs = PageReferences()
+    for node in walk(root):
+        if not isinstance(node, Element):
+            continue
+        if node.tag == "link":
+            rel = (node.get("rel") or "").lower().strip("'\" ")
+            href = node.get("href")
+            if href and "stylesheet" in rel:
+                refs.stylesheets.append(href)
+            elif href and "icon" in rel:
+                refs.images.append(href)
+        elif node.tag == "script":
+            src = node.get("src")
+            if src:
+                refs.scripts.append(src)
+            else:
+                source = node.text_content()
+                if source.strip():
+                    refs.inline_scripts.append(source)
+        elif node.tag == "img":
+            src = node.get("src")
+            if src:
+                refs.images.append(src)
+        elif node.tag in ("audio", "bgsound", "embed"):
+            src = node.get("src")
+            if src:
+                refs.audio.append(src)
+        elif node.tag == "a":
+            href = node.get("href")
+            if href and not href.lower().startswith(("javascript:", "mailto:")):
+                if _is_hidden_anchor(node):
+                    refs.hidden_links.append(href)
+                else:
+                    refs.visible_links.append(href)
+        elif node.tag == "body":
+            for name, value in node.attrs.items():
+                if name.startswith("on"):
+                    refs.body_event_handlers[name] = value
+    return refs
+
+
+def _is_hidden_anchor(anchor: Element) -> bool:
+    """True when the anchor is invisible to a human (the §2.2 trap pattern).
+
+    Two patterns count as hidden: a ``display:none``/``visibility:hidden``
+    style on the anchor itself, or anchor content consisting solely of
+    transparent/1×1 images with no visible text.
+    """
+    style = (anchor.get("style") or "").replace(" ", "").lower()
+    if "display:none" in style or "visibility:hidden" in style:
+        return True
+
+    has_content = False
+    for node in walk(anchor):
+        if node is anchor:
+            continue
+        if isinstance(node, Text):
+            if node.data.strip():
+                return False
+            continue
+        if node.tag == "img":
+            has_content = True
+            if not _is_invisible_image(node):
+                return False
+        elif node.tag not in ("span", "div", "font", "b", "i"):
+            return False
+    return has_content
+
+
+def _is_invisible_image(img: Element) -> bool:
+    """1×1 or transparent-by-name images render as invisible."""
+    width = (img.get("width") or "").strip()
+    height = (img.get("height") or "").strip()
+    if width in ("0", "1") and height in ("0", "1"):
+        return True
+    src = (img.get("src") or "").lower()
+    return "transp" in src or "1x1" in src or "blank" in src or "spacer" in src

@@ -1,0 +1,44 @@
+"""Element tree -> HTML text."""
+
+from __future__ import annotations
+
+from repro.html.document import Element, Node, Text
+from repro.html.tokenizer import RAW_TEXT_TAGS, VOID_TAGS
+
+
+def serialize(node: Node) -> str:
+    """Serialize a node (and its subtree) back to HTML text.
+
+    Attribute values are double-quoted with minimal escaping; raw-text
+    elements (<script>, <style>) emit their text children verbatim so
+    injected JavaScript survives the round trip byte-for-byte.
+    """
+    parts: list[str] = []
+    _serialize_into(node, parts)
+    return "".join(parts)
+
+
+def _serialize_into(node: Node, parts: list[str]) -> None:
+    if isinstance(node, Text):
+        parts.append(node.data)
+        return
+
+    attrs = "".join(
+        f' {name}="{_escape_attr(value)}"' for name, value in node.attrs.items()
+    )
+    if node.tag in VOID_TAGS and not node.children:
+        parts.append(f"<{node.tag}{attrs}>")
+        return
+    parts.append(f"<{node.tag}{attrs}>")
+    if node.tag in RAW_TEXT_TAGS:
+        for child in node.children:
+            if isinstance(child, Text):
+                parts.append(child.data)
+    else:
+        for child in node.children:
+            _serialize_into(child, parts)
+    parts.append(f"</{node.tag}>")
+
+
+def _escape_attr(value: str) -> str:
+    return value.replace("&", "&amp;").replace('"', "&quot;")

@@ -1,0 +1,155 @@
+"""A forgiving HTML tokenizer.
+
+Produces a flat stream of start tags (with attributes), end tags, text and
+comments.  It follows the small set of rules real-world 2006 HTML needs:
+case-insensitive tag/attribute names, quoted or bare attribute values,
+self-closing syntax, raw-text handling for <script> and <style> (their
+content is not scanned for tags), and silent recovery from malformed
+markup.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+_TAG_NAME_RE = re.compile(r"[a-zA-Z][a-zA-Z0-9:_-]*")
+_ATTR_RE = re.compile(
+    r"""\s+([a-zA-Z_:][a-zA-Z0-9:._-]*)      # attribute name
+        (?:\s*=\s*
+            (?:"([^"]*)"                     # double-quoted value
+              |'([^']*)'                     # single-quoted value
+              |([^\s>]+)                     # bare value
+            )
+        )?
+    """,
+    re.VERBOSE,
+)
+
+RAW_TEXT_TAGS = frozenset({"script", "style"})
+
+VOID_TAGS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param"}
+)
+
+
+@dataclass(frozen=True)
+class StartTagToken:
+    """``<name attr=value ...>`` (or ``<name ... />`` with self_closing)."""
+
+    name: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+@dataclass(frozen=True)
+class EndTagToken:
+    """``</name>``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TextToken:
+    """Character data between tags."""
+
+    data: str
+
+
+@dataclass(frozen=True)
+class CommentToken:
+    """``<!-- ... -->`` (also swallows doctypes and processing instructions)."""
+
+    data: str
+
+
+Token = Union[StartTagToken, EndTagToken, TextToken, CommentToken]
+
+
+def tokenize(html: str) -> Iterator[Token]:
+    """Yield tokens from an HTML string; never raises on malformed input."""
+    pos = 0
+    length = len(html)
+    raw_until: str | None = None
+
+    while pos < length:
+        if raw_until is not None:
+            # Inside <script>/<style>: everything up to the matching close
+            # tag is text.
+            close = html.lower().find(f"</{raw_until}", pos)
+            if close == -1:
+                if pos < length:
+                    yield TextToken(html[pos:])
+                return
+            if close > pos:
+                yield TextToken(html[pos:close])
+            pos = close
+            raw_until = None
+            continue
+
+        lt = html.find("<", pos)
+        if lt == -1:
+            yield TextToken(html[pos:])
+            return
+        if lt > pos:
+            yield TextToken(html[pos:lt])
+            pos = lt
+
+        # Comment / doctype / processing instruction.
+        if html.startswith("<!--", pos):
+            end = html.find("-->", pos + 4)
+            if end == -1:
+                yield CommentToken(html[pos + 4 :])
+                return
+            yield CommentToken(html[pos + 4 : end])
+            pos = end + 3
+            continue
+        if html.startswith("<!", pos) or html.startswith("<?", pos):
+            end = html.find(">", pos)
+            if end == -1:
+                yield CommentToken(html[pos + 2 :])
+                return
+            yield CommentToken(html[pos + 2 : end])
+            pos = end + 1
+            continue
+
+        # End tag.
+        if html.startswith("</", pos):
+            match = _TAG_NAME_RE.match(html, pos + 2)
+            if match is None:
+                yield TextToken("<")
+                pos += 1
+                continue
+            name = match.group(0).lower()
+            end = html.find(">", match.end())
+            pos = length if end == -1 else end + 1
+            yield EndTagToken(name)
+            continue
+
+        # Start tag.
+        match = _TAG_NAME_RE.match(html, pos + 1)
+        if match is None:
+            yield TextToken("<")
+            pos += 1
+            continue
+        name = match.group(0).lower()
+        end = html.find(">", match.end())
+        if end == -1:
+            attr_text = html[match.end() :]
+            pos = length
+        else:
+            attr_text = html[match.end() : end]
+            pos = end + 1
+        self_closing = attr_text.rstrip().endswith("/")
+        attrs: dict[str, str] = {}
+        for attr_match in _ATTR_RE.finditer(" " + attr_text):
+            attr_name = attr_match.group(1).lower()
+            value = next(
+                (g for g in attr_match.groups()[1:] if g is not None), ""
+            )
+            if attr_name not in attrs:
+                attrs[attr_name] = value
+        yield StartTagToken(name, attrs, self_closing)
+        if name in RAW_TEXT_TAGS and not self_closing:
+            raw_until = name

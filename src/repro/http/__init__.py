@@ -1,0 +1,66 @@
+"""Minimal HTTP model: requests, responses, headers, URLs, user agents.
+
+This is the wire-level vocabulary shared by the origin server, the proxy
+network, the agents and the detector.  It models exactly what the paper's
+techniques observe: method, URL, selected request headers (User-Agent,
+Referer), response status and Content-Type.
+"""
+
+from repro.http.content import (
+    ContentKind,
+    classify_content_type,
+    classify_path,
+    content_type_for_path,
+)
+from repro.http.headers import Headers
+from repro.http.message import (
+    Exchange,
+    Method,
+    Request,
+    Response,
+    error_response,
+    html_response,
+)
+from repro.http.status import (
+    StatusClass,
+    describe_status,
+    is_client_error,
+    is_redirect,
+    is_success,
+    status_class,
+)
+from repro.http.uri import Url, resolve_url
+from repro.http.useragent import (
+    BrowserFamily,
+    UserAgent,
+    known_browser_agents,
+    known_robot_agents,
+    parse_user_agent,
+)
+
+__all__ = [
+    "BrowserFamily",
+    "ContentKind",
+    "Exchange",
+    "Headers",
+    "Method",
+    "Request",
+    "Response",
+    "error_response",
+    "html_response",
+    "StatusClass",
+    "Url",
+    "UserAgent",
+    "classify_content_type",
+    "classify_path",
+    "content_type_for_path",
+    "describe_status",
+    "is_client_error",
+    "is_redirect",
+    "is_success",
+    "known_browser_agents",
+    "known_robot_agents",
+    "parse_user_agent",
+    "resolve_url",
+    "status_class",
+]

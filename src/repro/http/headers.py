@@ -1,0 +1,108 @@
+"""Case-insensitive, order-preserving HTTP headers.
+
+Only the handful of headers the paper's mechanisms care about get dedicated
+accessors (User-Agent, Referer, Cache-Control, Content-Type), but arbitrary
+headers round-trip so agent models can attach realistic request metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Headers:
+    """A multimap of header name -> values with case-insensitive names."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[tuple[str, str]] | None = None) -> None:
+        self._entries: list[tuple[str, str]] = []
+        if entries is not None:
+            for name, value in entries:
+                self.add(name, value)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header, preserving any existing values for the name."""
+        if not name or not name.strip():
+            raise ValueError("header name must be non-empty")
+        self._entries.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all values for ``name`` with a single value."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        """Drop every value for ``name`` (no error if absent)."""
+        folded = name.lower()
+        self._entries = [(n, v) for n, v in self._entries if n.lower() != folded]
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """First value for ``name``, or ``default``."""
+        folded = name.lower()
+        for n, v in self._entries:
+            if n.lower() == folded:
+                return v
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        """All values for ``name`` in insertion order."""
+        folded = name.lower()
+        return [v for n, v in self._entries if n.lower() == folded]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        normalize = lambda entries: [(n.lower(), v) for n, v in entries]
+        return normalize(self._entries) == normalize(other._entries)
+
+    def copy(self) -> "Headers":
+        """Shallow copy."""
+        return Headers(self._entries)
+
+    # -- convenience accessors for the fields the detectors read ----------
+
+    @property
+    def user_agent(self) -> str | None:
+        """The User-Agent value, if present."""
+        return self.get("User-Agent")
+
+    @property
+    def referer(self) -> str | None:
+        """The Referer value, if present."""
+        return self.get("Referer")
+
+    @property
+    def content_type(self) -> str | None:
+        """The Content-Type value, if present."""
+        return self.get("Content-Type")
+
+    @property
+    def cache_control(self) -> str | None:
+        """The Cache-Control value, if present."""
+        return self.get("Cache-Control")
+
+    def is_uncacheable(self) -> bool:
+        """True when Cache-Control forbids storing (as beacon responses must)."""
+        value = self.cache_control
+        if value is None:
+            return False
+        directives = {part.strip().lower() for part in value.split(",")}
+        return "no-cache" in directives or "no-store" in directives
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        inner = ", ".join(f"{n}: {v}" for n, v in self._entries)
+        return f"Headers({inner})"

@@ -1,0 +1,135 @@
+"""Tiny URL model: parse, join and resolve http URLs.
+
+The instrumenter mints beacon URLs on the site's own host, agents resolve
+relative links found in HTML, and the detector matches request paths against
+registered beacons — all through this module, so URL normalisation rules
+live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import re
+from dataclasses import dataclass, field
+
+_URL_RE = re.compile(
+    r"^(?P<scheme>[a-zA-Z][a-zA-Z0-9+.-]*)://"
+    r"(?P<host>[^/:?#]+)"
+    r"(?::(?P<port>\d+))?"
+    r"(?P<path>/[^?#]*)?"
+    r"(?:\?(?P<query>[^#]*))?"
+    r"(?:#(?P<fragment>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Url:
+    """An absolute http(s) URL, normalised."""
+
+    scheme: str
+    host: str
+    path: str = "/"
+    query: str = ""
+    port: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("http", "https"):
+            raise ValueError(f"unsupported scheme: {self.scheme!r}")
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/', got {self.path!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Url":
+        """Parse an absolute URL; raises ValueError on anything else."""
+        match = _URL_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"unparseable absolute URL: {text!r}")
+        parts = match.groupdict()
+        port = int(parts["port"]) if parts["port"] else None
+        return cls(
+            scheme=parts["scheme"].lower(),
+            host=parts["host"].lower(),
+            path=_normalize_path(parts["path"] or "/"),
+            query=parts["query"] or "",
+            port=port,
+        )
+
+    @property
+    def origin(self) -> str:
+        """``scheme://host[:port]`` with no trailing slash."""
+        if self.port is None:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    @property
+    def path_and_query(self) -> str:
+        """Path plus ``?query`` when a query is present."""
+        if self.query:
+            return f"{self.path}?{self.query}"
+        return self.path
+
+    @property
+    def filename(self) -> str:
+        """Last path segment (may be empty for directory URLs)."""
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def extension(self) -> str:
+        """Lowercased filename extension without the dot, or ``""``."""
+        name = self.filename
+        if "." not in name:
+            return ""
+        return name.rsplit(".", 1)[-1].lower()
+
+    def sibling(self, filename: str) -> "Url":
+        """URL of ``filename`` in the same directory as this URL."""
+        directory = self.path.rsplit("/", 1)[0]
+        return Url(self.scheme, self.host, f"{directory}/{filename}", "", self.port)
+
+    def with_path(self, path: str, query: str = "") -> "Url":
+        """Same origin, different path/query."""
+        return Url(self.scheme, self.host, _normalize_path(path), query, self.port)
+
+    def __str__(self) -> str:
+        return f"{self.origin}{self.path_and_query}"
+
+
+def _normalize_path(path: str) -> str:
+    """Collapse ``.``/``..`` segments and duplicate slashes, keep leading slash."""
+    if not path.startswith("/"):
+        path = "/" + path
+    normalized = posixpath.normpath(path)
+    # normpath strips a trailing slash that is meaningful for directories;
+    # the site model never relies on trailing slashes, so this is fine.
+    if normalized == ".":
+        return "/"
+    return normalized
+
+
+def resolve_url(base: Url, reference: str) -> Url:
+    """Resolve an HTML link ``reference`` against the page URL ``base``.
+
+    Handles absolute URLs, host-relative (``/a/b``), and document-relative
+    (``img/x.jpg``, ``../y.css``) references.  Fragments are dropped because
+    they never reach the server.
+    """
+    reference = reference.strip()
+    if not reference:
+        return base
+    reference = reference.split("#", 1)[0]
+    if not reference:
+        return base
+    if "://" in reference:
+        return Url.parse(reference)
+    if reference.startswith("//"):
+        return Url.parse(f"{base.scheme}:{reference}")
+    query = ""
+    if "?" in reference:
+        reference, query = reference.split("?", 1)
+    if reference.startswith("/"):
+        return Url(base.scheme, base.host, _normalize_path(reference), query, base.port)
+    directory = base.path.rsplit("/", 1)[0]
+    combined = _normalize_path(f"{directory}/{reference}") if reference else base.path
+    return Url(base.scheme, base.host, combined, query, base.port)

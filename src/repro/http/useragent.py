@@ -1,0 +1,145 @@
+"""User-Agent strings: catalogue, parsing, and forgery modelling.
+
+The paper explicitly *distrusts* the User-Agent header ("easily forged, and
+we find that it is commonly forged in practice") — sessions are keyed by
+<IP, User-Agent>, and the browser-mismatch detector compares the claimed UA
+against the UA echoed back by JavaScript running in the real client.  This
+module provides realistic UA strings circa 2006 for both browsers and
+well-behaved robots, plus a light parser good enough for family detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class BrowserFamily(Enum):
+    """Browser families the paper lists as "standard browsers" (§2.2)."""
+
+    IE = "ie"
+    FIREFOX = "firefox"
+    MOZILLA = "mozilla"
+    SAFARI = "safari"
+    NETSCAPE = "netscape"
+    OPERA = "opera"
+    ROBOT = "robot"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_standard_browser(self) -> bool:
+        """True for the families §2.2 treats as typical browsers."""
+        return self not in (BrowserFamily.ROBOT, BrowserFamily.UNKNOWN)
+
+
+@dataclass(frozen=True)
+class UserAgent:
+    """A User-Agent string and its parsed family."""
+
+    string: str
+    family: BrowserFamily
+
+    def __str__(self) -> str:
+        return self.string
+
+
+_BROWSER_STRINGS: dict[BrowserFamily, tuple[str, ...]] = {
+    BrowserFamily.IE: (
+        "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1; SV1)",
+        "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.0)",
+        "Mozilla/4.0 (compatible; MSIE 5.5; Windows 98)",
+    ),
+    BrowserFamily.FIREFOX: (
+        "Mozilla/5.0 (Windows; U; Windows NT 5.1; en-US; rv:1.8.0.1) "
+        "Gecko/20060111 Firefox/1.5.0.1",
+        "Mozilla/5.0 (X11; U; Linux i686; en-US; rv:1.7.12) "
+        "Gecko/20051010 Firefox/1.0.7",
+    ),
+    BrowserFamily.MOZILLA: (
+        "Mozilla/5.0 (X11; U; Linux i686; en-US; rv:1.7.12) Gecko/20050922",
+        "Mozilla/5.0 (Windows; U; Windows NT 5.1; en-US; rv:1.7.8) Gecko/20050511",
+    ),
+    BrowserFamily.SAFARI: (
+        "Mozilla/5.0 (Macintosh; U; PPC Mac OS X; en) AppleWebKit/418 "
+        "(KHTML, like Gecko) Safari/417.9.3",
+    ),
+    BrowserFamily.NETSCAPE: (
+        "Mozilla/5.0 (Windows; U; Windows NT 5.1; en-US; rv:1.7.5) "
+        "Gecko/20050519 Netscape/8.0.1",
+    ),
+    BrowserFamily.OPERA: (
+        "Opera/8.51 (Windows NT 5.1; U; en)",
+        "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1; en) Opera 8.50",
+    ),
+}
+
+_ROBOT_STRINGS: tuple[str, ...] = (
+    "Googlebot/2.1 (+http://www.google.com/bot.html)",
+    "msnbot/1.0 (+http://search.msn.com/msnbot.htm)",
+    "Mozilla/5.0 (compatible; Yahoo! Slurp; http://help.yahoo.com/help/us/ysearch/slurp)",
+    "ia_archiver",
+    "Wget/1.10.2",
+    "libwww-perl/5.805",
+    "Python-urllib/2.4",
+    "WebZIP/6.0",
+    "EmailCollector/1.1",
+    "LinkWalker/2.0",
+)
+
+_ROBOT_MARKERS: tuple[str, ...] = (
+    "bot",
+    "crawler",
+    "spider",
+    "slurp",
+    "archiver",
+    "wget",
+    "libwww",
+    "urllib",
+    "curl",
+    "collector",
+    "walker",
+    "webzip",
+    "fetch",
+)
+
+
+def known_browser_agents(family: BrowserFamily | None = None) -> list[UserAgent]:
+    """Catalogue of real browser UA strings (optionally one family)."""
+    out: list[UserAgent] = []
+    for fam, strings in _BROWSER_STRINGS.items():
+        if family is not None and fam is not family:
+            continue
+        out.extend(UserAgent(s, fam) for s in strings)
+    return out
+
+
+def known_robot_agents() -> list[UserAgent]:
+    """Catalogue of honest (self-identifying) robot UA strings."""
+    return [UserAgent(s, BrowserFamily.ROBOT) for s in _ROBOT_STRINGS]
+
+
+def parse_user_agent(string: str | None) -> UserAgent:
+    """Best-effort family detection from a raw UA string.
+
+    Order matters: Opera can masquerade as MSIE, Netscape and Firefox both
+    carry "Gecko", and anything with a robot marker is classified as a robot
+    regardless of other tokens (matching how operators read UA strings).
+    """
+    if string is None or not string.strip():
+        return UserAgent(string or "", BrowserFamily.UNKNOWN)
+    lowered = string.lower()
+    if any(marker in lowered for marker in _ROBOT_MARKERS):
+        return UserAgent(string, BrowserFamily.ROBOT)
+    if "opera" in lowered:
+        return UserAgent(string, BrowserFamily.OPERA)
+    if "netscape" in lowered:
+        return UserAgent(string, BrowserFamily.NETSCAPE)
+    if "firefox" in lowered:
+        return UserAgent(string, BrowserFamily.FIREFOX)
+    if "safari" in lowered or "applewebkit" in lowered:
+        return UserAgent(string, BrowserFamily.SAFARI)
+    if "msie" in lowered:
+        return UserAgent(string, BrowserFamily.IE)
+    if "gecko" in lowered or "mozilla" in lowered:
+        return UserAgent(string, BrowserFamily.MOZILLA)
+    return UserAgent(string, BrowserFamily.UNKNOWN)

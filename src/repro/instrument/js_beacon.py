@@ -1,0 +1,167 @@
+"""Mouse-movement beacon JavaScript (§2.1, Figure 1 of the paper).
+
+``build_beacon_script`` generates the external ``.js`` file the rewritten
+page references: ``m + 1`` look-alike functions, each guarded by a
+``do_once`` flag and fetching a fake image whose URL embeds a key.  Exactly
+one function — the one wired to the page's ``onmousemove`` handler —
+carries the real key ``k``; the other ``m`` are decoys with random wrong
+keys, so a robot that blindly fetches a URL out of the script picks a
+wrong key with probability ``m / (m + 1)``.
+
+The module also provides the two *client-side* readings of that script:
+
+* :func:`find_handler_fetch_url` — what a real JavaScript engine does:
+  resolve the handler expression to its function and produce the single
+  URL that function fetches (used by the browser agent models);
+* :func:`extract_all_script_urls` — what a URL-scraping robot does: grep
+  the source for anything fetchable (used by the blind-fetcher robot).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.util.ids import random_hex_key
+from repro.util.rng import RngStream
+
+_HANDLER_EXPR_RE = re.compile(r"return\s+([A-Za-z_$][\w$]*)\s*\(\s*\)")
+_URL_RE = re.compile(r"['\"](https?://[^'\"]+)['\"]")
+_FUNCTION_RE = re.compile(r"function\s+([A-Za-z_$][\w$]*)\s*\(\s*\)")
+
+
+@dataclass(frozen=True)
+class BeaconScript:
+    """A generated beacon script and the bookkeeping the server records."""
+
+    source: str
+    handler_function: str
+    handler_expression: str
+    real_key: str
+    real_image_path: str
+    decoy_keys: tuple[str, ...]
+    decoy_image_paths: tuple[str, ...]
+
+    @property
+    def all_image_paths(self) -> tuple[str, ...]:
+        """Real plus decoy image paths (order: real first)."""
+        return (self.real_image_path, *self.decoy_image_paths)
+
+    @property
+    def size(self) -> int:
+        """Source size in bytes."""
+        return len(self.source.encode("utf-8"))
+
+
+def _identifier(rng: RngStream, prefix: str) -> str:
+    return f"{prefix}_{random_hex_key(rng, 24)}"
+
+
+def _beacon_function(name: str, guard: str, image_var: str, url: str) -> str:
+    """One beacon function in the shape of the paper's Figure 1."""
+    return (
+        f"var {guard} = false;\n"
+        f"function {name}()\n"
+        "{\n"
+        f"  if ({guard} == false) {{\n"
+        f"    var {image_var} = new Image();\n"
+        f"    {guard} = true;\n"
+        f"    {image_var}.src = '{url}';\n"
+        "    return true;\n"
+        "  }\n"
+        "  return false;\n"
+        "}\n"
+    )
+
+
+def build_beacon_script(
+    rng: RngStream,
+    host: str,
+    decoys: int = 4,
+    key_bits: int = 128,
+) -> BeaconScript:
+    """Generate a beacon script for one page served to one client.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source (keys, decoys, identifier names, ordering).
+    host:
+        The site host the fake image URLs live on.
+    decoys:
+        ``m`` — the number of wrong-key look-alike functions.
+    key_bits:
+        Size of the random key space (the paper uses 2^128).
+    """
+    if decoys < 0:
+        raise ValueError(f"decoys must be non-negative, got {decoys}")
+
+    real_key = random_hex_key(rng, key_bits)
+    decoy_keys: list[str] = []
+    seen = {real_key}
+    while len(decoy_keys) < decoys:
+        candidate = random_hex_key(rng, key_bits)
+        if candidate not in seen:
+            seen.add(candidate)
+            decoy_keys.append(candidate)
+
+    real_path = f"/{real_key}.jpg"
+    decoy_paths = [f"/{k}.jpg" for k in decoy_keys]
+
+    handler_function = _identifier(rng, "f")
+    entries = [(handler_function, f"http://{host}{real_path}")]
+    for path in decoy_paths:
+        entries.append((_identifier(rng, "f"), f"http://{host}{path}"))
+    entries = rng.shuffled(entries)
+
+    parts = []
+    for name, url in entries:
+        guard = _identifier(rng, "g")
+        image_var = _identifier(rng, "i")
+        parts.append(_beacon_function(name, guard, image_var, url))
+
+    return BeaconScript(
+        source="".join(parts),
+        handler_function=handler_function,
+        handler_expression=f"return {handler_function}();",
+        real_key=real_key,
+        real_image_path=real_path,
+        decoy_keys=tuple(decoy_keys),
+        decoy_image_paths=tuple(decoy_paths),
+    )
+
+
+def find_handler_fetch_url(script_source: str, handler_expression: str) -> str | None:
+    """Resolve a handler expression the way a JavaScript engine would.
+
+    Finds the function named in ``handler_expression`` (``return f();``)
+    inside ``script_source`` and returns the URL assigned to an ``Image``
+    ``.src`` in its body — i.e. the URL a *real browser* fetches when the
+    human moves the mouse.  Returns None when the handler does not resolve
+    (wrong script, obfuscation damage), which the agent models treat as
+    "the handler silently does nothing".
+    """
+    match = _HANDLER_EXPR_RE.search(handler_expression)
+    if match is None:
+        return None
+    name = match.group(1)
+
+    declaration = re.search(
+        rf"function\s+{re.escape(name)}\s*\(\s*\)", script_source
+    )
+    if declaration is None:
+        return None
+    # The function body extends to the next top-level function declaration
+    # (beacon scripts are flat lists of functions).
+    next_function = _FUNCTION_RE.search(script_source, declaration.end())
+    end = next_function.start() if next_function else len(script_source)
+    body = script_source[declaration.end() : end]
+    url_match = _URL_RE.search(body)
+    if url_match is None:
+        return None
+    return url_match.group(1)
+
+
+def extract_all_script_urls(script_source: str) -> list[str]:
+    """All absolute URLs a scraping robot can pull out of a script."""
+    return _URL_RE.findall(script_source)

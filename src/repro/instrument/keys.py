@@ -1,0 +1,154 @@
+"""The per-IP probe table ("the server generates a random key k ... and
+records the tuple <foo.html, k> in a table indexed by the client's IP
+address. The table holds multiple entries per IP address.").
+
+Every injected object — the beacon JavaScript file, each mouse-image URL
+(real and decoy), the CSS beacon, the hidden-link trap and the UA-probe
+directory — is a :class:`RegisteredProbe`.  The proxy consults
+:meth:`InstrumentationRegistry.match` on every incoming request; a hit both
+tells the proxy what to serve and constitutes a detection signal.
+
+The table is bounded: entries expire after a TTL and each IP keeps at most
+``per_ip_cap`` entries (oldest evicted first), so a hostile client cannot
+grow server memory without bound — the DoS concern §4.2 raises against
+heavier ML state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.http.message import Request
+
+
+class BeaconKind(Enum):
+    """What kind of injected object a registered path is."""
+
+    BEACON_JS = "beacon_js"
+    MOUSE_IMAGE = "mouse_image"
+    CSS_BEACON = "css_beacon"
+    TRAP_PAGE = "trap_page"
+    TRAP_IMAGE = "trap_image"
+    UA_PROBE = "ua_probe"
+
+
+@dataclass(frozen=True)
+class RegisteredProbe:
+    """One outstanding injected object for one client IP.
+
+    ``path`` is the exact URL path, except for ``UA_PROBE`` entries where
+    it is a directory prefix (the echoed User-Agent completes the path).
+    ``is_real_key`` distinguishes the genuine mouse-image key from decoys.
+    """
+
+    kind: BeaconKind
+    client_ip: str
+    host: str
+    path: str
+    page_path: str
+    issued_at: float
+    key: str | None = None
+    is_real_key: bool = False
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class BeaconHit:
+    """A request matched a registered probe."""
+
+    probe: RegisteredProbe
+    echoed_user_agent: str | None = None
+
+
+class InstrumentationRegistry:
+    """Per-IP table of outstanding probes with TTL and size bounds."""
+
+    def __init__(self, ttl: float = 3600.0, per_ip_cap: int = 512) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        if per_ip_cap < 8:
+            raise ValueError(f"per_ip_cap must be >= 8, got {per_ip_cap}")
+        self._ttl = ttl
+        self._per_ip_cap = per_ip_cap
+        # client_ip -> path -> probe; OrderedDict gives FIFO eviction.
+        self._by_ip: dict[str, OrderedDict[str, RegisteredProbe]] = {}
+        # client_ip -> list of UA-probe directory prefixes (newest last).
+        self._ua_prefixes: dict[str, OrderedDict[str, RegisteredProbe]] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, probe: RegisteredProbe) -> None:
+        """Add a probe; evicts the oldest entries past the per-IP cap."""
+        table = self._by_ip.setdefault(probe.client_ip, OrderedDict())
+        table[probe.path] = probe
+        table.move_to_end(probe.path)
+        if probe.kind is BeaconKind.UA_PROBE:
+            prefixes = self._ua_prefixes.setdefault(probe.client_ip, OrderedDict())
+            prefixes[probe.path] = probe
+            prefixes.move_to_end(probe.path)
+        while len(table) > self._per_ip_cap:
+            evicted_path, evicted = table.popitem(last=False)
+            if evicted.kind is BeaconKind.UA_PROBE:
+                self._ua_prefixes.get(probe.client_ip, OrderedDict()).pop(
+                    evicted_path, None
+                )
+
+    # -- lookup -----------------------------------------------------------
+
+    def match(self, request: Request, now: float | None = None) -> BeaconHit | None:
+        """Return the probe ``request`` targets, if any (TTL-checked)."""
+        now = request.timestamp if now is None else now
+        table = self._by_ip.get(request.client_ip)
+        if not table:
+            return None
+        path = request.url.path
+
+        probe = table.get(path)
+        if probe is not None and self._alive(probe, now):
+            if request.url.host != probe.host:
+                return None
+            return BeaconHit(probe=probe)
+
+        # UA probes register a directory prefix; the fetched path embeds
+        # the client-echoed User-Agent string as its final segment.
+        prefixes = self._ua_prefixes.get(request.client_ip)
+        if prefixes:
+            for prefix, ua_probe in reversed(prefixes.items()):
+                if path.startswith(prefix) and self._alive(ua_probe, now):
+                    if request.url.host != ua_probe.host:
+                        continue
+                    echoed = path[len(prefix) :]
+                    if echoed.endswith(".css"):
+                        echoed = echoed[: -len(".css")]
+                    return BeaconHit(probe=ua_probe, echoed_user_agent=echoed)
+        return None
+
+    def outstanding(self, client_ip: str) -> list[RegisteredProbe]:
+        """All live probes registered for an IP (oldest first)."""
+        return list(self._by_ip.get(client_ip, OrderedDict()).values())
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._by_ip.values())
+
+    # -- maintenance --------------------------------------------------------
+
+    def expire_before(self, now: float) -> int:
+        """Drop probes older than the TTL; returns how many were removed."""
+        removed = 0
+        for ip in list(self._by_ip):
+            table = self._by_ip[ip]
+            stale = [p for p, probe in table.items() if not self._alive(probe, now)]
+            for path in stale:
+                probe = table.pop(path)
+                if probe.kind is BeaconKind.UA_PROBE:
+                    self._ua_prefixes.get(ip, OrderedDict()).pop(path, None)
+                removed += 1
+            if not table:
+                del self._by_ip[ip]
+                self._ua_prefixes.pop(ip, None)
+        return removed
+
+    def _alive(self, probe: RegisteredProbe, now: float) -> bool:
+        return now - probe.issued_at <= self._ttl

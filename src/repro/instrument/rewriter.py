@@ -1,0 +1,366 @@
+"""Dynamic HTML rewriting: apply all four probes to a served page.
+
+This is the server-side half of §2: for each HTML response to each client,
+:class:`PageInstrumenter` generates fresh probes, injects them into the
+document, registers them in the per-IP table, and marks the page
+uncacheable ("the server marks it uncacheable by adding the response
+header line Cache-Control: no-cache, no-store").
+
+Injection has two code paths: well-formed pages (a ``</head>``, a
+``<body ...>`` and a ``</body>`` — everything the origin emits) are
+rewritten with direct string splices, which keeps per-page cost in the
+tens of microseconds; anything else goes through the HTML parser, which
+synthesises the missing structure first.  Both paths produce the same
+probes.
+
+:func:`beacon_response` is the serving half: when a later request matches
+a registered probe, the proxy answers it directly (empty CSS, any JPEG,
+the generated script, ...) without involving the origin.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.html.document import Element, Text
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+from repro.http.headers import Headers
+from repro.http.message import Response
+from repro.http.uri import Url
+from repro.instrument.css_beacon import make_css_beacon
+from repro.instrument.hidden_link import make_hidden_link
+from repro.instrument.js_beacon import BeaconScript, build_beacon_script
+from repro.instrument.keys import (
+    BeaconHit,
+    BeaconKind,
+    InstrumentationRegistry,
+    RegisteredProbe,
+)
+from repro.instrument.obfuscator import obfuscate_beacon
+from repro.instrument.ua_probe import make_ua_probe_script
+from repro.util.ids import random_numeric_key
+from repro.util.rng import RngStream
+
+# Minimal valid-enough payloads for probe responses.
+_FAKE_JPEG = b"\xff\xd8\xff\xe0\x00\x10JFIF\x00\x01" + b"\x00" * 64 + b"\xff\xd9"
+_TRANSPARENT_GIF = (
+    b"GIF89a\x01\x00\x01\x00\x80\x00\x00\x00\x00\x00\x00\x00\x00"
+    b"!\xf9\x04\x01\x00\x00\x00\x00,\x00\x00\x00\x00\x01\x00\x01\x00\x00"
+    b"\x02\x02D\x01\x00;"
+)
+_TRAP_PAGE_BODY = (
+    b"<html><head><title>index</title></head>"
+    b"<body><p>nothing to see</p></body></html>"
+)
+
+_BODY_TAG_RE = re.compile(r"<body([^>]*)>", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class InstrumentConfig:
+    """Which probes to apply and how (§2 parameters).
+
+    ``decoys`` is the paper's ``m``; ``key_bits`` the key space (2^128).
+    """
+
+    decoys: int = 4
+    key_bits: int = 128
+    obfuscate: bool = True
+    junk_statements: int = 6
+    mouse_beacon: bool = True
+    css_beacon: bool = True
+    hidden_link: bool = True
+    ua_probe: bool = True
+
+    def __post_init__(self) -> None:
+        if self.decoys < 0:
+            raise ValueError("decoys must be non-negative")
+
+
+@dataclass
+class InstrumentedPage:
+    """The rewritten page plus everything that was registered for it."""
+
+    html: str
+    original_html: str
+    probes: list[RegisteredProbe] = field(default_factory=list)
+    beacon_script: BeaconScript | None = None
+
+    @property
+    def added_bytes(self) -> int:
+        """HTML growth caused by instrumentation (markup only)."""
+        return len(self.html.encode("utf-8")) - len(
+            self.original_html.encode("utf-8")
+        )
+
+
+@dataclass
+class _ProbePlan:
+    """Everything generated for one page before injection."""
+
+    head_fragment: str = ""
+    body_attribute: str | None = None  # onmousemove handler expression
+    tail_fragment: str = ""
+
+
+class PageInstrumenter:
+    """Rewrites HTML pages and maintains the probe registry."""
+
+    def __init__(
+        self,
+        registry: InstrumentationRegistry,
+        rng: RngStream,
+        config: InstrumentConfig | None = None,
+    ) -> None:
+        self._registry = registry
+        self._rng = rng
+        self._config = config or InstrumentConfig()
+        self._pages_instrumented = 0
+
+    @property
+    def config(self) -> InstrumentConfig:
+        """The instrumentation configuration."""
+        return self._config
+
+    @property
+    def registry(self) -> InstrumentationRegistry:
+        """The shared per-IP probe table."""
+        return self._registry
+
+    @property
+    def pages_instrumented(self) -> int:
+        """How many pages this instrumenter has rewritten."""
+        return self._pages_instrumented
+
+    def instrument(
+        self,
+        html: str,
+        page_url: Url,
+        client_ip: str,
+        now: float,
+    ) -> InstrumentedPage:
+        """Rewrite one page for one client and register its probes."""
+        result = InstrumentedPage(html=html, original_html=html)
+        plan = self._build_plan(result, page_url, client_ip, now)
+        result.html = self._inject(html, plan)
+        self._pages_instrumented += 1
+        return result
+
+    # -- probe generation -----------------------------------------------------
+
+    def _build_plan(
+        self,
+        result: InstrumentedPage,
+        page_url: Url,
+        client_ip: str,
+        now: float,
+    ) -> _ProbePlan:
+        cfg = self._config
+        rng = self._rng
+        host = page_url.host
+        plan = _ProbePlan()
+        head_parts: list[str] = []
+        tail_parts: list[str] = []
+
+        if cfg.css_beacon:
+            beacon = make_css_beacon(rng)
+            head_parts.append(
+                '<link rel="stylesheet" type="text/css" '
+                f'href="http://{host}{beacon.path}">'
+            )
+            self._register(
+                result, BeaconKind.CSS_BEACON, client_ip, host,
+                beacon.path, page_url.path, now,
+            )
+
+        if cfg.mouse_beacon:
+            script = build_beacon_script(
+                rng, host, decoys=cfg.decoys, key_bits=cfg.key_bits
+            )
+            handler_expression = script.handler_expression
+            source = script.source
+            if cfg.obfuscate:
+                source, handler_expression = obfuscate_beacon(
+                    source, handler_expression, rng, cfg.junk_statements
+                )
+            # The script file is named like a sibling of the page, as in
+            # the paper's "./index_0729395150.js".
+            stem = page_url.filename.rsplit(".", 1)[0] or "index"
+            js_name = f"{stem}_{random_numeric_key(rng, 10)}.js"
+            js_url = page_url.sibling(js_name)
+            head_parts.append(
+                f'<script language="javascript" src="./{js_name}"></script>'
+            )
+            plan.body_attribute = handler_expression
+
+            self._register(
+                result, BeaconKind.BEACON_JS, client_ip, host,
+                js_url.path, page_url.path, now,
+                payload=source.encode("utf-8"),
+            )
+            self._register(
+                result, BeaconKind.MOUSE_IMAGE, client_ip, host,
+                script.real_image_path, page_url.path, now,
+                key=script.real_key, is_real_key=True,
+            )
+            for key, path in zip(script.decoy_keys, script.decoy_image_paths):
+                self._register(
+                    result, BeaconKind.MOUSE_IMAGE, client_ip, host,
+                    path, page_url.path, now, key=key, is_real_key=False,
+                )
+            result.beacon_script = BeaconScript(
+                source=source,
+                handler_function=script.handler_function,
+                handler_expression=handler_expression,
+                real_key=script.real_key,
+                real_image_path=script.real_image_path,
+                decoy_keys=script.decoy_keys,
+                decoy_image_paths=script.decoy_image_paths,
+            )
+
+        if cfg.ua_probe:
+            probe = make_ua_probe_script(rng)
+            tail_parts.append(f"<script>{probe.script_source(host)}</script>")
+            self._register(
+                result, BeaconKind.UA_PROBE, client_ip, host,
+                probe.prefix_path, page_url.path, now,
+            )
+
+        if cfg.hidden_link:
+            trap = make_hidden_link(rng)
+            tail_parts.append(
+                f'<a href="http://{host}{trap.page_path}">'
+                f'<img src="http://{host}{trap.image_path}" width="1" '
+                'height="1" border="0" alt=""></a>'
+            )
+            self._register(
+                result, BeaconKind.TRAP_PAGE, client_ip, host,
+                trap.page_path, page_url.path, now,
+            )
+            self._register(
+                result, BeaconKind.TRAP_IMAGE, client_ip, host,
+                trap.image_path, page_url.path, now,
+            )
+
+        plan.head_fragment = "".join(head_parts)
+        plan.tail_fragment = "".join(tail_parts)
+        return plan
+
+    # -- injection --------------------------------------------------------------
+
+    def _inject(self, html: str, plan: _ProbePlan) -> str:
+        if (
+            "</head>" in html
+            and "</body>" in html
+            and _BODY_TAG_RE.search(html) is not None
+        ):
+            return self._inject_fast(html, plan)
+        return self._inject_tree(html, plan)
+
+    @staticmethod
+    def _inject_fast(html: str, plan: _ProbePlan) -> str:
+        """String-splice injection for well-formed pages."""
+        if plan.head_fragment:
+            html = html.replace(
+                "</head>", plan.head_fragment + "</head>", 1
+            )
+        if plan.body_attribute is not None:
+            html = _BODY_TAG_RE.sub(
+                lambda m: (
+                    f'<body{m.group(1)} '
+                    f'onmousemove="{plan.body_attribute}">'
+                ),
+                html,
+                count=1,
+            )
+        if plan.tail_fragment:
+            html = html.replace(
+                "</body>", plan.tail_fragment + "</body>", 1
+            )
+        return html
+
+    @staticmethod
+    def _inject_tree(html: str, plan: _ProbePlan) -> str:
+        """Parser-based injection for fragments and malformed pages."""
+        root = parse_html(html)
+        head = root.find("head")
+        body = root.find("body")
+        if head is None or body is None:  # parser guarantees both
+            raise AssertionError("parse_html must synthesise head and body")
+        if plan.head_fragment:
+            # Fragments parse into a head/body split; collect both halves.
+            fragment = parse_html(plan.head_fragment)
+            for node in fragment.find("head").children:
+                head.append(node)
+            for node in fragment.find("body").children:
+                head.append(node)
+        if plan.body_attribute is not None:
+            body.set("onmousemove", plan.body_attribute)
+        if plan.tail_fragment:
+            fragment = parse_html(plan.tail_fragment)
+            for node in fragment.find("head").children:
+                body.append(node)
+            for node in fragment.find("body").children:
+                body.append(node)
+        return serialize(root)
+
+    def _register(
+        self,
+        result: InstrumentedPage,
+        kind: BeaconKind,
+        client_ip: str,
+        host: str,
+        path: str,
+        page_path: str,
+        now: float,
+        key: str | None = None,
+        is_real_key: bool = False,
+        payload: bytes = b"",
+    ) -> None:
+        probe = RegisteredProbe(
+            kind=kind,
+            client_ip=client_ip,
+            host=host,
+            path=path,
+            page_path=page_path,
+            issued_at=now,
+            key=key,
+            is_real_key=is_real_key,
+            payload=payload,
+        )
+        self._registry.register(probe)
+        result.probes.append(probe)
+
+
+def mark_uncacheable(headers: Headers) -> None:
+    """Apply the paper's anti-caching header to an instrumented response."""
+    headers.set("Cache-Control", "no-cache, no-store")
+
+
+def beacon_response(hit: BeaconHit) -> Response:
+    """Serve a matched probe request directly from the proxy."""
+    kind = hit.probe.kind
+    if kind is BeaconKind.BEACON_JS:
+        headers = Headers([("Content-Type", "application/javascript")])
+        mark_uncacheable(headers)
+        return Response(status=200, headers=headers, body=hit.probe.payload)
+    if kind is BeaconKind.MOUSE_IMAGE:
+        # "The server can respond with any JPEG image because the picture
+        # is not used."
+        headers = Headers([("Content-Type", "image/jpeg")])
+        mark_uncacheable(headers)
+        return Response(status=200, headers=headers, body=_FAKE_JPEG)
+    if kind is BeaconKind.CSS_BEACON or kind is BeaconKind.UA_PROBE:
+        headers = Headers([("Content-Type", "text/css")])
+        mark_uncacheable(headers)
+        return Response(status=200, headers=headers, body=b"")
+    if kind is BeaconKind.TRAP_IMAGE:
+        headers = Headers([("Content-Type", "image/gif")])
+        return Response(status=200, headers=headers, body=_TRANSPARENT_GIF)
+    if kind is BeaconKind.TRAP_PAGE:
+        headers = Headers([("Content-Type", "text/html")])
+        mark_uncacheable(headers)
+        return Response(status=200, headers=headers, body=_TRAP_PAGE_BODY)
+    raise ValueError(f"unhandled beacon kind: {kind}")

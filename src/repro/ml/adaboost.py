@@ -1,0 +1,102 @@
+"""AdaBoost (Schapire) over decision stumps — the paper's §4.2 learner.
+
+"We used AdaBoost with 200 rounds."  Discrete AdaBoost on ±1 labels:
+each round trains the best stump under the current sample weights, gets a
+vote ``alpha = ½ ln((1−ε)/ε)``, and re-weights samples toward the
+mistakes.  The feature-column argsorts are computed once and reused by
+every round, so 200 rounds over tens of thousands of sessions train in
+well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.stump import DecisionStump, train_stump
+
+_EPS = 1e-12
+
+
+@dataclass
+class AdaBoostModel:
+    """A trained ensemble: stumps with their votes."""
+
+    stumps: list[DecisionStump] = field(default_factory=list)
+    alphas: list[float] = field(default_factory=list)
+    n_features: int = 0
+
+    def score(self, x: np.ndarray) -> np.ndarray:
+        """Real-valued margin: positive means human (+1)."""
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected (n, {self.n_features}) matrix, got {x.shape}"
+            )
+        total = np.zeros(x.shape[0])
+        for stump, alpha in zip(self.stumps, self.alphas):
+            total += alpha * stump.predict(x)
+        return total
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """±1 predictions (ties break to robot, the safe default)."""
+        margins = self.score(x)
+        return np.where(margins > 0.0, 1, -1).astype(np.int8)
+
+    def staged_scores(self, x: np.ndarray) -> np.ndarray:
+        """(rounds, n) margins after each boosting round."""
+        out = np.zeros((len(self.stumps), x.shape[0]))
+        running = np.zeros(x.shape[0])
+        for t, (stump, alpha) in enumerate(zip(self.stumps, self.alphas)):
+            running = running + alpha * stump.predict(x)
+            out[t] = running
+        return out
+
+    @property
+    def rounds(self) -> int:
+        """Number of boosting rounds actually performed."""
+        return len(self.stumps)
+
+
+class AdaBoostClassifier:
+    """Trainer: fit(X, y) -> AdaBoostModel."""
+
+    def __init__(self, n_rounds: int = 200) -> None:
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        self.n_rounds = n_rounds
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> AdaBoostModel:
+        """Train on a sample matrix (n, d) and ±1 labels (n,)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        n, d = x.shape
+        if y.shape != (n,):
+            raise ValueError("y length must match x rows")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ValueError("labels must be -1 or +1")
+        if n < 2 or len(np.unique(y)) < 2:
+            raise ValueError("need at least one sample of each class")
+
+        sort_indices = np.argsort(x, axis=0).T
+        weights = np.full(n, 1.0 / n)
+        model = AdaBoostModel(n_features=d)
+
+        for _ in range(self.n_rounds):
+            stump, error = train_stump(x, y, weights, sort_indices)
+            error = min(max(error, _EPS), 1.0 - _EPS)
+            if error >= 0.5:
+                # The weak-learner guarantee failed; boosting is done.
+                break
+            alpha = 0.5 * np.log((1.0 - error) / error)
+            predictions = stump.predict(x)
+            weights = weights * np.exp(-alpha * y * predictions)
+            weights /= weights.sum()
+            model.stumps.append(stump)
+            model.alphas.append(float(alpha))
+            if error <= _EPS * 10:
+                # Perfect separation: further rounds only repeat it.
+                break
+        return model

@@ -1,0 +1,86 @@
+"""ML dataset assembly: per-session feature snapshots at request counts.
+
+The paper builds "eight classifiers at multiples of 20 requests ...
+calculating the attributes of the first 20 requests", over CAPTCHA-
+labelled sessions.  :class:`SessionExample` carries one session's label
+and its attribute snapshots at each checkpoint; sessions shorter than a
+checkpoint contribute their whole-session attributes (the stream simply
+ran out — the online deployment would face exactly the same truncation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.features import N_ATTRIBUTES
+
+HUMAN = 1
+ROBOT = -1
+
+DEFAULT_CHECKPOINTS: tuple[int, ...] = (20, 40, 60, 80, 100, 120, 140, 160)
+
+
+@dataclass
+class SessionExample:
+    """One labelled session with snapshots at the standard checkpoints."""
+
+    session_id: str
+    label: int
+    kind: str = ""
+    snapshots: dict[int, np.ndarray] = field(default_factory=dict)
+    final: np.ndarray | None = None
+    request_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.label not in (HUMAN, ROBOT):
+            raise ValueError("label must be +1 (human) or -1 (robot)")
+
+    def at(self, checkpoint: int) -> np.ndarray:
+        """Features over the first ``checkpoint`` requests (or all)."""
+        vector = self.snapshots.get(checkpoint)
+        if vector is not None:
+            return vector
+        if self.final is not None:
+            return self.final
+        raise KeyError(
+            f"session {self.session_id} has no snapshot at {checkpoint} "
+            "and no final vector"
+        )
+
+
+@dataclass
+class Dataset:
+    """A bag of labelled session examples."""
+
+    examples: list[SessionExample] = field(default_factory=list)
+    checkpoints: tuple[int, ...] = DEFAULT_CHECKPOINTS
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    @property
+    def humans(self) -> list[SessionExample]:
+        """Human-labelled examples."""
+        return [e for e in self.examples if e.label == HUMAN]
+
+    @property
+    def robots(self) -> list[SessionExample]:
+        """Robot-labelled examples."""
+        return [e for e in self.examples if e.label == ROBOT]
+
+    def class_balance(self) -> tuple[int, int]:
+        """(humans, robots) counts."""
+        return len(self.humans), len(self.robots)
+
+
+def build_matrix(
+    examples: list[SessionExample], checkpoint: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack examples into (X, y) at one checkpoint."""
+    if not examples:
+        return np.zeros((0, N_ATTRIBUTES)), np.zeros(0)
+    x = np.stack([example.at(checkpoint) for example in examples])
+    y = np.array([example.label for example in examples], dtype=np.float64)
+    return x, y

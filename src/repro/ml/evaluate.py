@@ -1,0 +1,102 @@
+"""Evaluation: splits, accuracy, confusion counts.
+
+The paper "divided each set into a training set and a test set, using
+equal numbers of sessions drawn at random" — a per-class 50/50 split,
+implemented here deterministically from an :class:`RngStream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.dataset import SessionExample
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy of one classifier on train and test sets."""
+
+    checkpoint: int
+    train_accuracy: float
+    test_accuracy: float
+    rounds: int
+
+    def __str__(self) -> str:
+        return (
+            f"N={self.checkpoint:3d}: train={self.train_accuracy:6.2%} "
+            f"test={self.test_accuracy:6.2%} ({self.rounds} rounds)"
+        )
+
+
+def train_test_split(
+    examples: list[SessionExample], rng: RngStream
+) -> tuple[list[SessionExample], list[SessionExample]]:
+    """Per-class 50/50 split, shuffled deterministically."""
+    train: list[SessionExample] = []
+    test: list[SessionExample] = []
+    for label in (1, -1):
+        members = [e for e in examples if e.label == label]
+        members = rng.shuffled(members)
+        half = len(members) // 2
+        train.extend(members[:half])
+        test.extend(members[half:])
+    return rng.shuffled(train), rng.shuffled(test)
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of matching ±1 predictions."""
+    if predictions.shape != labels.shape:
+        raise ValueError("prediction/label shape mismatch")
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Binary confusion counts with +1 = human as the positive class."""
+
+    true_human: int
+    false_human: int
+    true_robot: int
+    false_robot: int
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy."""
+        total = (
+            self.true_human + self.false_human
+            + self.true_robot + self.false_robot
+        )
+        if total == 0:
+            return 0.0
+        return (self.true_human + self.true_robot) / total
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Robots classified human / all robots (the paper's FPR sense)."""
+        robots = self.false_human + self.true_robot
+        return self.false_human / robots if robots else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        """Humans classified robot / all humans."""
+        humans = self.true_human + self.false_robot
+        return self.false_robot / humans if humans else 0.0
+
+
+def confusion(predictions: np.ndarray, labels: np.ndarray) -> Confusion:
+    """Confusion counts for ±1 predictions vs ±1 labels."""
+    if predictions.shape != labels.shape:
+        raise ValueError("prediction/label shape mismatch")
+    pred_human = predictions == 1
+    is_human = labels == 1
+    return Confusion(
+        true_human=int(np.sum(pred_human & is_human)),
+        false_human=int(np.sum(pred_human & ~is_human)),
+        true_robot=int(np.sum(~pred_human & ~is_human)),
+        false_robot=int(np.sum(~pred_human & is_human)),
+    )

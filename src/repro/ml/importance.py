@@ -1,0 +1,32 @@
+"""Attribute contribution analysis.
+
+§4.2: "RESPCODE_3XX%, REFERRER% and UNSEEN_REFERRER% turned out to be the
+most contributing attributes."  With a stump ensemble the contribution of
+an attribute is exact: the sum of |alpha| over the rounds that chose it.
+"""
+
+from __future__ import annotations
+
+from repro.ml.adaboost import AdaBoostModel
+from repro.ml.features import ATTRIBUTE_NAMES
+
+
+def attribute_contributions(model: AdaBoostModel) -> list[tuple[str, float]]:
+    """Per-attribute total |alpha|, normalised to sum 1, sorted descending."""
+    totals = [0.0] * len(ATTRIBUTE_NAMES)
+    for stump, alpha in zip(model.stumps, model.alphas):
+        totals[stump.feature] += abs(alpha)
+    grand = sum(totals)
+    if grand > 0:
+        totals = [t / grand for t in totals]
+    ranked = sorted(
+        zip(ATTRIBUTE_NAMES, totals), key=lambda pair: pair[1], reverse=True
+    )
+    return ranked
+
+
+def top_attributes(model: AdaBoostModel, k: int = 3) -> list[str]:
+    """Names of the ``k`` most contributing attributes."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return [name for name, _ in attribute_contributions(model)[:k]]

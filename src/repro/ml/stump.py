@@ -1,0 +1,128 @@
+"""Decision stumps: the weak learners AdaBoost boosts.
+
+A stump thresholds one attribute: ``predict(x) = polarity`` when
+``x[feature] > threshold`` else ``-polarity`` (labels are ±1, +1 =
+human).  Training finds the (feature, threshold, polarity) minimising
+weighted error in one vectorised pass per feature using prefix sums over
+weight-sorted samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DecisionStump:
+    """One trained threshold rule."""
+
+    feature: int
+    threshold: float
+    polarity: int
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (-1, 1):
+            raise ValueError("polarity must be -1 or +1")
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """±1 predictions for a sample matrix (n, d)."""
+        above = x[:, self.feature] > self.threshold
+        out = np.where(above, self.polarity, -self.polarity)
+        return out.astype(np.int8)
+
+
+def train_stump(
+    x: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+    sort_indices: np.ndarray | None = None,
+) -> tuple[DecisionStump, float]:
+    """Best stump under ``weights``; returns (stump, weighted_error).
+
+    ``sort_indices`` (d, n) — argsort of each feature column — can be
+    precomputed once per dataset and reused across boosting rounds.
+    """
+    n, d = x.shape
+    if y.shape != (n,) or weights.shape != (n,):
+        raise ValueError("x, y, weights shapes disagree")
+    if sort_indices is None:
+        sort_indices = np.argsort(x, axis=0).T
+
+    best_error = np.inf
+    best_feature = 0
+    best_threshold = 0.0
+    best_polarity = 1
+
+    signed = weights * y  # w_i * y_i
+    total_positive = float(np.sum(weights[y > 0]))
+
+    for feature in range(d):
+        order = sort_indices[feature]
+        values = x[order, feature]
+        # cumulative sum of w*y over samples with value <= candidate
+        prefix = np.cumsum(signed[order])
+
+        # Threshold between position j and j+1 is only valid where the
+        # value actually changes; also allow "before everything".
+        # Error for polarity +1 (predict +1 when value > thr):
+        #   err(j) = sum_{i<=j, y=+1} w + sum_{i>j, y=-1} w
+        #          = P(j) + (N_total - N(j))
+        # With prefix = cumsum(w*y) = P(j) - N(j) and
+        # cumw = cumsum(w) = P(j) + N(j):
+        #   P(j) = (cumw + prefix) / 2, N(j) = (cumw - prefix) / 2
+        cumw = np.cumsum(weights[order])
+        total_w = cumw[-1]
+        total_negative = total_w - total_positive
+
+        p_j = (cumw + prefix) / 2.0
+        n_j = (cumw - prefix) / 2.0
+        err_pos = p_j + (total_negative - n_j)  # polarity +1
+        err_neg = total_w - err_pos  # polarity -1 flips every prediction
+
+        distinct = np.empty(n, dtype=bool)
+        distinct[:-1] = values[:-1] < values[1:]
+        distinct[-1] = False  # threshold above the max never splits
+
+        # "Everything is above the threshold" baseline:
+        base_pos = total_negative  # predict +1 for all
+        base_neg = total_positive  # predict -1 for all
+        if base_pos < best_error:
+            best_error = base_pos
+            best_feature = feature
+            best_threshold = float(values[0]) - 1.0
+            best_polarity = 1
+        if base_neg < best_error:
+            best_error = base_neg
+            best_feature = feature
+            best_threshold = float(values[0]) - 1.0
+            best_polarity = -1
+
+        if distinct.any():
+            idx = np.flatnonzero(distinct)
+            pos_errors = err_pos[idx]
+            neg_errors = err_neg[idx]
+            j_pos = idx[int(np.argmin(pos_errors))]
+            j_neg = idx[int(np.argmin(neg_errors))]
+            if err_pos[j_pos] < best_error:
+                best_error = float(err_pos[j_pos])
+                best_feature = feature
+                best_threshold = float(
+                    (values[j_pos] + values[j_pos + 1]) / 2.0
+                )
+                best_polarity = 1
+            if err_neg[j_neg] < best_error:
+                best_error = float(err_neg[j_neg])
+                best_feature = feature
+                best_threshold = float(
+                    (values[j_neg] + values[j_neg + 1]) / 2.0
+                )
+                best_polarity = -1
+
+    stump = DecisionStump(
+        feature=best_feature,
+        threshold=best_threshold,
+        polarity=best_polarity,
+    )
+    return stump, float(best_error)

@@ -1,0 +1,111 @@
+"""Proxy object cache.
+
+Only static, non-HTML 200 responses are cached: HTML is rewritten
+per-client by the instrumenter (and marked no-store), so caching it would
+leak one client's beacons to another — the exact reason the paper marks
+instrumented objects uncacheable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.http.content import ContentKind
+from repro.http.message import Method, Request, Response
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    response: Response
+    stored_at: float
+
+
+class ProxyCache:
+    """LRU cache keyed by (host, path, query) with a TTL."""
+
+    def __init__(self, capacity: int = 4096, ttl: float = 3600.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self._capacity = capacity
+        self._ttl = ttl
+        self._entries: OrderedDict[tuple[str, str, str], _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _key(request: Request) -> tuple[str, str, str]:
+        return (request.url.host, request.url.path, request.url.query)
+
+    def lookup(self, request: Request, now: float) -> Response | None:
+        """Return a cached response for the request, if fresh."""
+        if request.method is not Method.GET:
+            return None
+        key = self._key(request)
+        entry = self._entries.get(key)
+        if entry is None or now - entry.stored_at > self._ttl:
+            if entry is not None:
+                del self._entries[key]
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        cached = entry.response
+        return Response(
+            status=cached.status,
+            headers=cached.headers,
+            body=cached.body,
+            served_from_cache=True,
+        )
+
+    def store(self, request: Request, response: Response, now: float) -> bool:
+        """Cache the response if it is cacheable; returns True when stored."""
+        if not self._cacheable(request, response):
+            return False
+        key = self._key(request)
+        self._entries[key] = _Entry(response=response, stored_at=now)
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _cacheable(request: Request, response: Response) -> bool:
+        if request.method is not Method.GET:
+            return False
+        if response.status != 200:
+            return False
+        if response.headers.is_uncacheable():
+            return False
+        kind = response.content_kind
+        if kind is ContentKind.HTML:
+            return False
+        return kind in (
+            ContentKind.CSS,
+            ContentKind.JAVASCRIPT,
+            ContentKind.IMAGE,
+            ContentKind.AUDIO,
+            ContentKind.OTHER,
+        )

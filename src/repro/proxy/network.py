@@ -1,0 +1,141 @@
+"""A network of proxy nodes with sticky client assignment.
+
+CoDeeN clients configure one proxy and stick to it, so each node sees
+complete sessions; the network assigns clients to nodes by a stable hash
+of the client IP and aggregates node statistics for whole-deployment
+reporting (Table 1 sums sessions across all nodes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.detection.online import DetectionLatency
+from repro.detection.session import SessionState
+from repro.detection.set_algebra import SessionSets
+from repro.http.message import Request, Response
+from repro.instrument.rewriter import InstrumentConfig
+from repro.proxy.node import NodeStats, ProxyNode
+from repro.proxy.ratelimit import RateLimitConfig
+from repro.site.origin import OriginServer
+from repro.util.rng import RngStream
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate of all node stats."""
+
+    requests: int = 0
+    rate_limited: int = 0
+    policy_blocked: int = 0
+    beacon_requests: int = 0
+    origin_requests: int = 0
+    cache_hits: int = 0
+    pages_instrumented: int = 0
+    bytes_served: int = 0
+    beacon_bytes_served: int = 0
+    instrumentation_markup_bytes: int = 0
+
+    @property
+    def beacon_bandwidth_fraction(self) -> float:
+        """Network-wide probe-object bandwidth share (§3.2's 0.3%)."""
+        if self.bytes_served == 0:
+            return 0.0
+        return self.beacon_bytes_served / self.bytes_served
+
+    @property
+    def markup_bandwidth_fraction(self) -> float:
+        """Network-wide share of instrumentation markup growth."""
+        if self.bytes_served == 0:
+            return 0.0
+        return self.instrumentation_markup_bytes / self.bytes_served
+
+    def absorb(self, node: NodeStats) -> None:
+        """Add one node's counters into the aggregate."""
+        self.requests += node.requests
+        self.rate_limited += node.rate_limited
+        self.policy_blocked += node.policy_blocked
+        self.beacon_requests += node.beacon_requests
+        self.origin_requests += node.origin_requests
+        self.cache_hits += node.cache_hits
+        self.pages_instrumented += node.pages_instrumented
+        self.bytes_served += node.bytes_served
+        self.beacon_bytes_served += node.beacon_bytes_served
+        self.instrumentation_markup_bytes += node.instrumentation_markup_bytes
+
+
+class ProxyNetwork:
+    """A fixed set of nodes sharing the same origins."""
+
+    def __init__(
+        self,
+        origins: dict[str, OriginServer],
+        rng: RngStream,
+        n_nodes: int = 4,
+        instrument_config: InstrumentConfig | None = None,
+        rate_limit: RateLimitConfig | None = None,
+        instrument_enabled: bool = True,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.nodes = [
+            ProxyNode(
+                node_id=f"node-{i:03d}",
+                origins=origins,
+                rng=rng,
+                instrument_config=instrument_config,
+                rate_limit=rate_limit,
+                instrument_enabled=instrument_enabled,
+            )
+            for i in range(n_nodes)
+        ]
+
+    def node_for(self, client_ip: str) -> ProxyNode:
+        """Sticky node assignment by stable hash of the client IP."""
+        digest = hashlib.blake2b(
+            client_ip.encode("utf-8"), digest_size=4
+        ).digest()
+        index = int.from_bytes(digest, "little") % len(self.nodes)
+        return self.nodes[index]
+
+    def handle(self, request: Request) -> Response:
+        """Route a request to its node and process it."""
+        return self.node_for(request.client_ip).handle(request)
+
+    def housekeeping(self, now: float) -> None:
+        """Run maintenance on every node."""
+        for node in self.nodes:
+            node.housekeeping(now)
+
+    # -- aggregation --------------------------------------------------------
+
+    def stats(self) -> NetworkStats:
+        """Aggregate statistics across nodes."""
+        total = NetworkStats()
+        for node in self.nodes:
+            total.absorb(node.stats)
+        return total
+
+    def finalize_sessions(self) -> list[SessionState]:
+        """Finalize all nodes and collect every analyzable session."""
+        sessions: list[SessionState] = []
+        for node in self.nodes:
+            node.detection.finalize()
+            sessions.extend(node.detection.tracker.analyzable())
+        return sessions
+
+    def session_sets(self) -> SessionSets:
+        """Network-wide set-algebra census (call after finalize_sessions)."""
+        sets = SessionSets()
+        for node in self.nodes:
+            for state in node.detection.tracker.analyzable():
+                sets.add(state)
+        return sets
+
+    def detection_latencies(self) -> list[DetectionLatency]:
+        """Network-wide Figure 2 samples (call after finalize_sessions)."""
+        samples: list[DetectionLatency] = []
+        for node in self.nodes:
+            samples.extend(node.detection.detection_latencies())
+        return samples

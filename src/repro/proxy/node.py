@@ -1,0 +1,175 @@
+"""A single proxy node: forward, cache, instrument, detect, enforce.
+
+The request path mirrors an instrumented CoDeeN node:
+
+1. per-IP token-bucket rate limit (infrastructure protection) -> 503;
+2. detection pipeline (session routing, probe matching, verdict, policy);
+3. blocked robot sessions -> 403;
+4. probe fetches answered locally (:func:`beacon_response`);
+5. cache lookup for static objects;
+6. origin forwarding; 200 HTML responses are instrumented per client and
+   marked uncacheable before delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.service import DetectionService, RequestOutcome
+from repro.http.content import ContentKind
+from repro.http.headers import Headers
+from repro.http.message import Request, Response, error_response
+from repro.instrument.keys import InstrumentationRegistry
+from repro.instrument.rewriter import (
+    InstrumentConfig,
+    PageInstrumenter,
+    beacon_response,
+    mark_uncacheable,
+)
+from repro.proxy.cache import ProxyCache
+from repro.proxy.ratelimit import RateLimitConfig, TokenBucketLimiter
+from repro.site.origin import OriginServer
+from repro.util.rng import RngStream
+
+
+@dataclass
+class NodeStats:
+    """Per-node traffic accounting (drives the §3.2 overhead numbers)."""
+
+    requests: int = 0
+    rate_limited: int = 0
+    policy_blocked: int = 0
+    beacon_requests: int = 0
+    origin_requests: int = 0
+    cache_hits: int = 0
+    pages_instrumented: int = 0
+    bytes_served: int = 0
+    beacon_bytes_served: int = 0
+    instrumentation_markup_bytes: int = 0
+
+    @property
+    def beacon_bandwidth_fraction(self) -> float:
+        """Fraction of served bytes that are probe objects.
+
+        This is the paper's §3.2 quantity ("the bandwidth overhead of
+        fake JavaScript and CSS files"): the beacon script, CSS, image
+        and trap responses themselves.
+        """
+        if self.bytes_served == 0:
+            return 0.0
+        return self.beacon_bytes_served / self.bytes_served
+
+    @property
+    def markup_bandwidth_fraction(self) -> float:
+        """Fraction of served bytes that are instrumentation markup growth."""
+        if self.bytes_served == 0:
+            return 0.0
+        return self.instrumentation_markup_bytes / self.bytes_served
+
+
+class ProxyNode:
+    """One proxy node with its own registry, detector, cache and limiter."""
+
+    def __init__(
+        self,
+        node_id: str,
+        origins: dict[str, OriginServer],
+        rng: RngStream,
+        instrument_config: InstrumentConfig | None = None,
+        rate_limit: RateLimitConfig | None = None,
+        detection: DetectionService | None = None,
+        instrument_enabled: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self._origins = origins
+        self.detection = detection or DetectionService(InstrumentationRegistry())
+        self.instrumenter = PageInstrumenter(
+            self.detection.registry,
+            rng.split(f"instrumenter-{node_id}"),
+            instrument_config,
+        )
+        self.cache = ProxyCache()
+        self.limiter = TokenBucketLimiter(rate_limit) if rate_limit else None
+        self.instrument_enabled = instrument_enabled
+        self.stats = NodeStats()
+
+    def handle(self, request: Request) -> Response:
+        """Process one client request end to end."""
+        self.stats.requests += 1
+        now = request.timestamp
+
+        if self.limiter is not None and not self.limiter.allow(
+            request.client_ip, now
+        ):
+            self.stats.rate_limited += 1
+            return error_response(503, "rate limited")
+
+        outcome = self.detection.handle_request(request)
+
+        if outcome.blocked:
+            self.stats.policy_blocked += 1
+            response = error_response(403, "blocked by robot policy")
+            self._account(outcome, response, beacon=False)
+            return response
+
+        if outcome.hit is not None:
+            response = beacon_response(outcome.hit)
+            self.stats.beacon_requests += 1
+            self._account(outcome, response, beacon=True)
+            return response
+
+        cached = self.cache.lookup(request, now)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self._account(outcome, cached, beacon=False)
+            return cached
+
+        response = self._forward(request)
+        self.cache.store(request, response, now)
+
+        if (
+            self.instrument_enabled
+            and response.status == 200
+            and response.content_kind is ContentKind.HTML
+            and response.body
+        ):
+            response = self._instrument(request, response)
+
+        self._account(outcome, response, beacon=False)
+        return response
+
+    # -- internals ----------------------------------------------------------
+
+    def _forward(self, request: Request) -> Response:
+        origin = self._origins.get(request.url.host)
+        self.stats.origin_requests += 1
+        if origin is None:
+            return error_response(502, f"no route to {request.url.host}")
+        return origin.handle(request)
+
+    def _instrument(self, request: Request, response: Response) -> Response:
+        result = self.instrumenter.instrument(
+            response.text, request.url, request.client_ip, request.timestamp
+        )
+        self.stats.pages_instrumented += 1
+        self.stats.instrumentation_markup_bytes += max(0, result.added_bytes)
+        headers = response.headers.copy()
+        mark_uncacheable(headers)
+        return Response(
+            status=response.status,
+            headers=headers,
+            body=result.html.encode("utf-8"),
+        )
+
+    def _account(
+        self, outcome: RequestOutcome, response: Response, beacon: bool
+    ) -> None:
+        self.detection.note_response(outcome, response)
+        self.stats.bytes_served += response.size
+        if beacon:
+            self.stats.beacon_bytes_served += response.size
+
+    def housekeeping(self, now: float) -> None:
+        """Periodic maintenance: expire idle sessions and stale probes."""
+        self.detection.tracker.expire_idle(now)
+        self.detection.registry.expire_before(now)

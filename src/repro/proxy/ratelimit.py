@@ -1,0 +1,82 @@
+"""Per-client token-bucket rate limiting.
+
+CoDeeN applied rate limiting and privilege separation before this paper's
+techniques existed (Wang et al. 2004); the paper then "enforced aggressive
+rate limiting on the robot traffic" once sessions were classified.  The
+token bucket here is the generic substrate; the classification-driven
+thresholds live in :mod:`repro.detection.policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Bucket parameters: sustained rate and burst capacity."""
+
+    requests_per_second: float = 10.0
+    burst: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.requests_per_second <= 0:
+            raise ValueError("requests_per_second must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class TokenBucket:
+    """A single token bucket."""
+
+    __slots__ = ("_capacity", "_rate", "_tokens", "_updated_at")
+
+    def __init__(self, config: RateLimitConfig, now: float = 0.0) -> None:
+        self._rate = config.requests_per_second
+        self._capacity = config.burst
+        self._tokens = config.burst
+        self._updated_at = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (as of the last update)."""
+        return self._tokens
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; refills lazily."""
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        elapsed = max(0.0, now - self._updated_at)
+        self._tokens = min(self._capacity, self._tokens + elapsed * self._rate)
+        self._updated_at = now
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+
+class TokenBucketLimiter:
+    """One bucket per client IP."""
+
+    def __init__(self, config: RateLimitConfig | None = None) -> None:
+        self._config = config or RateLimitConfig()
+        self._buckets: dict[str, TokenBucket] = {}
+        self.denied = 0
+        self.allowed = 0
+
+    @property
+    def config(self) -> RateLimitConfig:
+        """The bucket parameters."""
+        return self._config
+
+    def allow(self, client_ip: str, now: float) -> bool:
+        """True when the client may proceed with one more request."""
+        bucket = self._buckets.get(client_ip)
+        if bucket is None:
+            bucket = TokenBucket(self._config, now)
+            self._buckets[client_ip] = bucket
+        if bucket.try_acquire(now):
+            self.allowed += 1
+            return True
+        self.denied += 1
+        return False

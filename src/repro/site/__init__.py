@@ -1,0 +1,26 @@
+"""Synthetic origin web sites.
+
+The paper's detectors run at a proxy in front of arbitrary origin content;
+this package generates that content: a random page graph with realistic
+embedded objects (CSS, JavaScript, images), CGI endpoints, a favicon and a
+robots.txt, plus an :class:`~repro.site.origin.OriginServer` that serves it
+with realistic status codes (404s, redirects).
+"""
+
+from repro.site.generator import SiteConfig, SiteGenerator, Website
+from repro.site.origin import OriginServer
+from repro.site.page import PageSpec
+from repro.site.resources import Resource, ResourceKind
+from repro.site.robots_txt import RobotsTxt, parse_robots_txt
+
+__all__ = [
+    "OriginServer",
+    "PageSpec",
+    "Resource",
+    "ResourceKind",
+    "RobotsTxt",
+    "SiteConfig",
+    "SiteGenerator",
+    "Website",
+    "parse_robots_txt",
+]

@@ -1,0 +1,79 @@
+"""Page specifications and HTML rendering.
+
+A :class:`PageSpec` records a page's outbound structure — which pages it
+links to and which objects it embeds — and renders to plain 2006-flavour
+HTML.  The instrumenter later rewrites this HTML; nothing in the rendered
+page knows about detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PageSpec:
+    """Structure of one HTML page on the origin site."""
+
+    path: str
+    title: str
+    links: list[str] = field(default_factory=list)
+    stylesheets: list[str] = field(default_factory=list)
+    scripts: list[str] = field(default_factory=list)
+    images: list[str] = field(default_factory=list)
+    cgi_links: list[str] = field(default_factory=list)
+    paragraphs: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"page path must start with '/': {self.path!r}")
+        if self.paragraphs < 0:
+            raise ValueError("paragraphs must be non-negative")
+
+    @property
+    def embedded_objects(self) -> list[str]:
+        """All objects a rendering browser would fetch for this page."""
+        return [*self.stylesheets, *self.scripts, *self.images]
+
+    @property
+    def all_links(self) -> list[str]:
+        """Page links plus CGI links (everything a crawler could follow)."""
+        return [*self.links, *self.cgi_links]
+
+    def render(self) -> str:
+        """Render the page to HTML."""
+        head_parts = [f"<title>{self.title}</title>"]
+        for href in self.stylesheets:
+            head_parts.append(
+                f'<link rel="stylesheet" type="text/css" href="{href}">'
+            )
+        for src in self.scripts:
+            head_parts.append(f'<script src="{src}"></script>')
+
+        body_parts: list[str] = [f"<h1>{self.title}</h1>"]
+        filler = (
+            "Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do "
+            "eiusmod tempor incididunt ut labore et dolore magna aliqua."
+        )
+        for i in range(self.paragraphs):
+            body_parts.append(f"<p>{filler} (paragraph {i + 1})</p>")
+        for src in self.images:
+            body_parts.append(f'<img src="{src}" alt="figure">')
+        if self.links or self.cgi_links:
+            items = [
+                f'<li><a href="{href}">Visit {href}</a></li>'
+                for href in self.links
+            ]
+            items.extend(
+                f'<li><a href="{href}">Search {href}</a></li>'
+                for href in self.cgi_links
+            )
+            body_parts.append("<ul>" + "".join(items) + "</ul>")
+
+        return (
+            "<html><head>"
+            + "".join(head_parts)
+            + "</head><body>"
+            + "".join(body_parts)
+            + "</body></html>"
+        )

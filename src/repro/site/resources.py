@@ -1,0 +1,79 @@
+"""Static resources an origin site is made of."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ResourceKind(Enum):
+    """Kinds of origin resources."""
+
+    PAGE = "page"
+    STYLESHEET = "stylesheet"
+    SCRIPT = "script"
+    IMAGE = "image"
+    AUDIO = "audio"
+    FAVICON = "favicon"
+    CGI = "cgi"
+    ROBOTS_TXT = "robots_txt"
+
+
+_CONTENT_TYPES: dict[ResourceKind, str] = {
+    ResourceKind.PAGE: "text/html",
+    ResourceKind.STYLESHEET: "text/css",
+    ResourceKind.SCRIPT: "application/javascript",
+    ResourceKind.IMAGE: "image/jpeg",
+    ResourceKind.AUDIO: "audio/wav",
+    ResourceKind.FAVICON: "image/x-icon",
+    ResourceKind.CGI: "text/html",
+    ResourceKind.ROBOTS_TXT: "text/plain",
+}
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One servable origin object.
+
+    ``body`` is the literal payload for non-page resources; pages are
+    rendered on demand by the origin from their :class:`PageSpec` so that
+    link structure and body stay consistent.
+    """
+
+    path: str
+    kind: ResourceKind
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"resource path must start with '/': {self.path!r}")
+
+    @property
+    def content_type(self) -> str:
+        """The Content-Type the origin serves this resource with."""
+        return _CONTENT_TYPES[self.kind]
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.body)
+
+
+def synthetic_body(kind: ResourceKind, size: int) -> bytes:
+    """Deterministic filler payload of roughly ``size`` bytes for a kind."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if kind is ResourceKind.STYLESHEET:
+        unit = b"body { margin: 0; } .c { color: #336699; }\n"
+    elif kind is ResourceKind.SCRIPT:
+        unit = b"function noop() { return 0; }\n"
+    elif kind is ResourceKind.IMAGE or kind is ResourceKind.FAVICON:
+        unit = b"\xff\xd8\xff\xe0JFIF\x00" * 4
+    elif kind is ResourceKind.AUDIO:
+        unit = b"RIFF\x00\x00WAVE" * 4
+    else:
+        unit = b"0123456789abcdef"
+    if size == 0:
+        return b""
+    repeats = size // len(unit) + 1
+    return (unit * repeats)[:size]

@@ -1,0 +1,72 @@
+"""The robot exclusion protocol (robots.txt).
+
+The paper's related-work section notes the protocol is "entirely advisory,
+and malicious robots have no incentive to follow it" — which is exactly how
+the agent models treat it: the polite crawler consults it, every malicious
+robot ignores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RobotsTxt:
+    """Parsed robots.txt: per-user-agent disallow prefixes."""
+
+    rules: dict[str, list[str]] = field(default_factory=dict)
+
+    def disallowed_prefixes(self, user_agent: str) -> list[str]:
+        """Disallow prefixes applying to ``user_agent``.
+
+        Matching follows the original 1994 convention: the most specific
+        user-agent token wins; ``*`` is the fallback.
+        """
+        lowered = user_agent.lower()
+        best: str | None = None
+        for token in self.rules:
+            if token == "*":
+                continue
+            if token in lowered and (best is None or len(token) > len(best)):
+                best = token
+        if best is not None:
+            return self.rules[best]
+        return self.rules.get("*", [])
+
+    def allows(self, user_agent: str, path: str) -> bool:
+        """True when ``user_agent`` may fetch ``path``."""
+        for prefix in self.disallowed_prefixes(user_agent):
+            if prefix and path.startswith(prefix):
+                return False
+        return True
+
+
+def parse_robots_txt(text: str) -> RobotsTxt:
+    """Parse robots.txt text; unknown directives are ignored."""
+    rules: dict[str, list[str]] = {}
+    current_agents: list[str] = []
+    saw_rule_for_current = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or ":" not in line:
+            continue
+        directive, _, value = line.partition(":")
+        directive = directive.strip().lower()
+        value = value.strip()
+        if directive == "user-agent":
+            if saw_rule_for_current:
+                current_agents = []
+                saw_rule_for_current = False
+            token = value.lower()
+            current_agents.append(token)
+            rules.setdefault(token, [])
+        elif directive == "disallow":
+            saw_rule_for_current = True
+            if not current_agents:
+                continue
+            if value:
+                for agent in current_agents:
+                    rules.setdefault(agent, []).append(value)
+    return RobotsTxt(rules=rules)

@@ -1,0 +1,39 @@
+"""Shared utilities: deterministic randomness, statistics, time, ids.
+
+Every stochastic component in the reproduction draws from a labelled
+:class:`~repro.util.rng.RngStream` so that experiments are reproducible
+bit-for-bit from a single seed.
+"""
+
+from repro.util.ids import IdGenerator, random_hex_key
+from repro.util.rng import RngStream
+from repro.util.stats import (
+    Ecdf,
+    SummaryStats,
+    mean,
+    percentile,
+    summarize,
+)
+from repro.util.timeutil import (
+    HOUR,
+    MINUTE,
+    SECOND,
+    format_duration,
+    parse_duration,
+)
+
+__all__ = [
+    "Ecdf",
+    "HOUR",
+    "IdGenerator",
+    "MINUTE",
+    "RngStream",
+    "SECOND",
+    "SummaryStats",
+    "format_duration",
+    "mean",
+    "parse_duration",
+    "percentile",
+    "random_hex_key",
+    "summarize",
+]

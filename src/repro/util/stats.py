@@ -1,0 +1,126 @@
+"""Small statistics helpers: summaries, percentiles, empirical CDFs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} p50={self.p50:.3f} "
+            f"p95={self.p95:.3f} p99={self.p99:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for a non-empty sample."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    mu = mean(values)
+    if len(values) > 1:
+        var = sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+    else:
+        var = 0.0
+    return SummaryStats(
+        count=len(values),
+        mean=mu,
+        std=math.sqrt(var),
+        minimum=float(min(values)),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+        maximum=float(max(values)),
+    )
+
+
+class Ecdf:
+    """Empirical cumulative distribution function of a sample.
+
+    Used for Figure 2 ("CDF of # of requests needed to detect humans"):
+    ``Ecdf(samples).fraction_at_or_below(20)`` answers "what fraction of
+    sessions were detected within 20 requests".
+    """
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self._sorted = sorted(float(s) for s in samples)
+        if not self._sorted:
+            raise ValueError("Ecdf needs at least one sample")
+
+    @property
+    def n(self) -> int:
+        """Number of samples."""
+        return len(self._sorted)
+
+    @property
+    def values(self) -> list[float]:
+        """Sorted sample values."""
+        return list(self._sorted)
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """F(x): fraction of samples <= x."""
+        lo, hi = 0, len(self._sorted)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._sorted[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value v such that F(v) >= q, for q in (0, 1]."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        index = max(0, math.ceil(q * len(self._sorted)) - 1)
+        return self._sorted[index]
+
+    def points(self) -> list[tuple[float, float]]:
+        """The (x, F(x)) step points, one per distinct sample value."""
+        out: list[tuple[float, float]] = []
+        n = len(self._sorted)
+        for i, v in enumerate(self._sorted):
+            if i + 1 < n and self._sorted[i + 1] == v:
+                continue
+            out.append((v, (i + 1) / n))
+        return out

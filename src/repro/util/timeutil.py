@@ -1,0 +1,50 @@
+"""Simulated-time helpers.
+
+The workload engine uses a float "seconds since experiment start" clock;
+these constants and parsers keep durations readable at call sites.
+"""
+
+from __future__ import annotations
+
+import re
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+WEEK: float = 7 * DAY
+
+_DURATION_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(ms|s|m|h|d|w)\s*$")
+
+_UNIT_SECONDS = {
+    "ms": 0.001,
+    "s": SECOND,
+    "m": MINUTE,
+    "h": HOUR,
+    "d": DAY,
+    "w": WEEK,
+}
+
+
+def parse_duration(text: str) -> float:
+    """Parse a duration like ``"90s"``, ``"1.5h"`` or ``"2d"`` into seconds."""
+    match = _DURATION_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable duration: {text!r}")
+    value, unit = match.groups()
+    return float(value) * _UNIT_SECONDS[unit]
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds as a compact human-readable duration."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < MINUTE:
+        return f"{seconds:.1f}s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f}m"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f}h"
+    return f"{seconds / DAY:.1f}d"

@@ -1,0 +1,146 @@
+"""Drive one agent session against a proxy handler.
+
+The runner owns the virtual clock: each yielded
+:class:`~repro.agents.base.FetchAction` advances time by its think time,
+becomes a concrete :class:`~repro.http.message.Request`, and the handler's
+response is sent back into the agent generator.  When feature collection
+is on, the runner maintains the Table 2 accumulator and snapshots it at
+the standard checkpoints, producing a ready
+:class:`~repro.ml.dataset.SessionExample`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.agents.base import Agent, FetchResult, SessionBudget
+from repro.http.headers import Headers
+from repro.http.message import Request, Response, error_response
+from repro.http.uri import Url
+from repro.ml.dataset import DEFAULT_CHECKPOINTS, HUMAN, ROBOT, SessionExample
+from repro.ml.features import FeatureAccumulator
+
+Handler = Callable[[Request], Response]
+
+
+@dataclass
+class SessionRecord:
+    """Summary of one driven session."""
+
+    client_ip: str
+    user_agent: str
+    agent_kind: str
+    true_label: str
+    started_at: float
+    ended_at: float = 0.0
+    requests: int = 0
+    bytes_received: int = 0
+    example: SessionExample | None = None
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds from first to last request."""
+        return max(0.0, self.ended_at - self.started_at)
+
+
+class SessionRunner:
+    """Runs agents to completion under a budget."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        budget: SessionBudget | None = None,
+        collect_features: bool = False,
+        checkpoints: tuple[int, ...] = DEFAULT_CHECKPOINTS,
+    ) -> None:
+        self._handler = handler
+        self._budget = budget or SessionBudget()
+        self._collect_features = collect_features
+        self._checkpoints = checkpoints
+
+    def run(self, agent: Agent, start_time: float = 0.0) -> SessionRecord:
+        """Drive ``agent`` from ``start_time``; returns the session record."""
+        record = SessionRecord(
+            client_ip=agent.client_ip,
+            user_agent=agent.user_agent,
+            agent_kind=agent.kind,
+            true_label=agent.true_label,
+            started_at=start_time,
+            ended_at=start_time,
+        )
+        accumulator = FeatureAccumulator() if self._collect_features else None
+        example: SessionExample | None = None
+        if accumulator is not None:
+            example = SessionExample(
+                session_id=f"{agent.client_ip}|{agent.kind}",
+                label=HUMAN if agent.true_label == "human" else ROBOT,
+                kind=agent.kind,
+            )
+
+        clock = start_time
+        generator = agent.browse()
+        try:
+            action = next(generator)
+        except StopIteration:
+            record.example = example
+            return record
+
+        while True:
+            clock += action.think_time
+            request, response = self._perform(action, agent, clock)
+            record.requests += 1
+            record.bytes_received += response.size
+            record.ended_at = clock
+
+            if accumulator is not None and example is not None:
+                accumulator.observe(request, response)
+                if record.requests in self._checkpoints:
+                    example.snapshots[record.requests] = accumulator.vector()
+
+            if record.requests >= self._budget.max_requests:
+                break
+            if clock - start_time >= self._budget.max_duration:
+                break
+            try:
+                action = generator.send(FetchResult(request, response))
+            except StopIteration:
+                break
+
+        if example is not None and accumulator is not None:
+            example.final = accumulator.vector()
+            example.request_count = record.requests
+        record.example = example
+        return record
+
+    def _perform(
+        self, action, agent: Agent, timestamp: float
+    ) -> tuple[Request, Response]:
+        headers = Headers([("User-Agent", agent.user_agent)])
+        if action.referer:
+            headers.set("Referer", action.referer)
+        for name, value in action.extra_headers:
+            headers.set(name, value)
+        try:
+            url = Url.parse(action.url)
+        except ValueError:
+            # A malformed URL never leaves the client in reality; answer
+            # locally so the agent's script can continue.
+            fallback = Url.parse(agent.entry_url).with_path("/__bad_request__")
+            request = Request(
+                method=action.method,
+                url=fallback,
+                client_ip=agent.client_ip,
+                headers=headers,
+                timestamp=timestamp,
+            )
+            return request, error_response(400, "malformed URL")
+
+        request = Request(
+            method=action.method,
+            url=url,
+            client_ip=agent.client_ip,
+            headers=headers,
+            timestamp=timestamp,
+        )
+        return request, self._handler(request)

@@ -1,0 +1,94 @@
+"""Tests for repro.agents.population and the named mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.population import AgentSpec, IpAllocator, PopulationMix
+from repro.util.rng import RngStream
+from repro.workload.mixes import CODEEN_WEEK, ML_STUDY, SMOKE, mix_by_name
+
+
+class TestIpAllocator:
+    def test_unique(self):
+        allocator = IpAllocator(RngStream(1))
+        ips = {allocator.next() for _ in range(5000)}
+        assert len(ips) == 5000
+
+    def test_valid_dotted_quads(self):
+        allocator = IpAllocator(RngStream(1))
+        for _ in range(100):
+            parts = allocator.next().split(".")
+            assert len(parts) == 4
+            assert all(0 <= int(p) <= 255 for p in parts)
+
+
+class TestPopulationMix:
+    def test_sampling_respects_weights(self):
+        mix = CODEEN_WEEK
+        rng = RngStream(7, "sample")
+        agents = mix.sample_many(rng, "http://h.com/index.html", 800)
+        kinds = {}
+        for agent in agents:
+            kinds[agent.kind] = kinds.get(agent.kind, 0) + 1
+        human_fraction = (
+            kinds.get("human_js", 0) + kinds.get("human_nojs", 0)
+        ) / 800
+        assert 0.18 < human_fraction < 0.32
+        assert kinds.get("crawler", 0) > kinds.get("crawler_hidden", 0)
+
+    def test_kind_set_from_spec_name(self):
+        agents = SMOKE.sample_many(
+            RngStream(3), "http://h.com/index.html", 60
+        )
+        expected = {spec.name for spec in SMOKE.specs}
+        assert {a.kind for a in agents} <= expected
+
+    def test_unique_ips(self):
+        agents = SMOKE.sample_many(
+            RngStream(3), "http://h.com/index.html", 100
+        )
+        assert len({a.client_ip for a in agents}) == 100
+
+    def test_deterministic(self):
+        a = CODEEN_WEEK.sample_many(RngStream(9), "http://h/x.html", 50)
+        b = CODEEN_WEEK.sample_many(RngStream(9), "http://h/x.html", 50)
+        assert [x.kind for x in a] == [y.kind for y in b]
+        assert [x.client_ip for x in a] == [y.client_ip for y in b]
+
+    def test_fraction_lookup(self):
+        assert CODEEN_WEEK.fraction("human_js") == pytest.approx(0.236, abs=0.01)
+        with pytest.raises(KeyError):
+            CODEEN_WEEK.fraction("nonexistent")
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            PopulationMix("empty", [])
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AgentSpec("x", -1.0, lambda **kw: None, ("ua",))
+        with pytest.raises(ValueError):
+            AgentSpec("x", 1.0, lambda **kw: None, ())
+
+
+class TestNamedMixes:
+    def test_lookup(self):
+        assert mix_by_name("codeen_week") is CODEEN_WEEK
+        assert mix_by_name("ml_study") is ML_STUDY
+        with pytest.raises(KeyError):
+            mix_by_name("nope")
+
+    def test_codeen_week_weights_sum_to_100(self):
+        total = sum(spec.weight for spec in CODEEN_WEEK.specs)
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_ml_study_class_balance_matches_paper(self):
+        """Paper: 42,975 human vs 124,271 robot ≈ 25.7% human."""
+        human = sum(
+            spec.weight
+            for spec in ML_STUDY.specs
+            if spec.name.startswith("human")
+        )
+        total = sum(spec.weight for spec in ML_STUDY.specs)
+        assert 0.22 < human / total < 0.30

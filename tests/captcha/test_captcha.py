@@ -1,0 +1,86 @@
+"""Tests for the CAPTCHA subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.captcha.challenge import (
+    CaptchaChallenge,
+    CaptchaOutcome,
+    generate_challenge,
+)
+from repro.captcha.service import CaptchaConfig, CaptchaService
+from repro.util.rng import RngStream
+
+
+class TestChallenge:
+    def test_solve_probability_monotone_in_skill(self):
+        challenge = CaptchaChallenge("c1", difficulty=0.5)
+        assert challenge.solve_probability(0.9) > challenge.solve_probability(
+            0.2
+        )
+
+    def test_solve_probability_monotone_in_difficulty(self):
+        easy = CaptchaChallenge("c1", difficulty=0.1)
+        hard = CaptchaChallenge("c2", difficulty=0.9)
+        assert easy.solve_probability(0.9) > hard.solve_probability(0.9)
+
+    def test_bounds(self):
+        challenge = CaptchaChallenge("c", difficulty=1.0)
+        assert 0.0 <= challenge.solve_probability(0.0) <= 1.0
+        assert 0.0 <= challenge.solve_probability(1.0) <= 1.0
+
+    def test_invalid_difficulty(self):
+        with pytest.raises(ValueError):
+            CaptchaChallenge("c", difficulty=1.5)
+
+    def test_invalid_skill(self):
+        with pytest.raises(ValueError):
+            CaptchaChallenge("c", difficulty=0.5).solve_probability(2.0)
+
+    def test_generate_in_range(self, rng):
+        for _ in range(20):
+            challenge = generate_challenge(rng)
+            assert 0.3 <= challenge.difficulty <= 0.8
+
+
+class TestService:
+    def test_human_funnel_rates(self):
+        service = CaptchaService(
+            CaptchaConfig(human_participation=0.5, human_skill=0.97)
+        )
+        rng = RngStream(5)
+        outcomes = [
+            service.run_for_session(rng.split(f"s{i}"), is_human=True)
+            for i in range(2000)
+        ]
+        passed = sum(1 for o in outcomes if o is CaptchaOutcome.PASSED)
+        declined = sum(1 for o in outcomes if o is CaptchaOutcome.DECLINED)
+        assert 0.42 < passed / 2000 < 0.55  # ~participation × solve
+        assert 0.42 < declined / 2000 < 0.58
+
+    def test_robots_rarely_attempt(self):
+        service = CaptchaService()
+        rng = RngStream(6)
+        outcomes = [
+            service.run_for_session(rng.split(f"r{i}"), is_human=False)
+            for i in range(2000)
+        ]
+        passed = sum(1 for o in outcomes if o is CaptchaOutcome.PASSED)
+        assert passed / 2000 < 0.01
+
+    def test_stats_consistent(self):
+        service = CaptchaService()
+        rng = RngStream(7)
+        for i in range(300):
+            service.run_for_session(rng.split(f"x{i}"), is_human=i % 3 == 0)
+        stats = service.stats
+        assert stats.offered == 300
+        assert stats.declined + stats.attempted == 300
+        assert stats.passed + stats.failed == stats.attempted
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CaptchaConfig(human_participation=1.5)
+        with pytest.raises(ValueError):
+            CaptchaConfig(max_attempts=0)

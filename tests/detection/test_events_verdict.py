@@ -1,0 +1,63 @@
+"""Tests for repro.detection.events and repro.detection.verdict."""
+
+from __future__ import annotations
+
+from repro.detection.events import DetectionEvent, EventKind
+from repro.detection.verdict import Label, Verdict
+
+
+class TestEventKinds:
+    def test_human_evidence(self):
+        assert EventKind.MOUSE_EVENT_VALID.is_human_evidence
+        assert EventKind.CAPTCHA_PASSED.is_human_evidence
+        assert not EventKind.CSS_BEACON_FETCH.is_human_evidence
+
+    def test_robot_evidence(self):
+        assert EventKind.MOUSE_EVENT_WRONG_KEY.is_robot_evidence
+        assert EventKind.HIDDEN_LINK_FOLLOWED.is_robot_evidence
+        assert EventKind.UA_MISMATCH.is_robot_evidence
+        assert not EventKind.JS_EXECUTED.is_robot_evidence
+
+    def test_no_kind_is_both(self):
+        for kind in EventKind:
+            assert not (kind.is_human_evidence and kind.is_robot_evidence)
+
+    def test_event_str(self):
+        event = DetectionEvent(
+            kind=EventKind.CSS_BEACON_FETCH,
+            session_id="sess-000001",
+            request_index=7,
+            timestamp=12.5,
+            detail="/123.css",
+        )
+        text = str(event)
+        assert "sess-000001" in text
+        assert "req#7" in text
+        assert "css_beacon_fetch" in text
+        assert "/123.css" in text
+
+    def test_event_str_without_detail(self):
+        event = DetectionEvent(
+            kind=EventKind.SESSION_EXPIRED,
+            session_id="s",
+            request_index=1,
+            timestamp=0.0,
+        )
+        assert "(" not in str(event).split("session_expired")[-1]
+
+
+class TestVerdict:
+    def test_str_definitive(self):
+        verdict = Verdict(Label.HUMAN, "mouse", definitive=True)
+        assert "human" in str(verdict)
+        assert "definitive" in str(verdict)
+
+    def test_str_tentative(self):
+        verdict = Verdict(Label.ROBOT, "no evidence")
+        assert "tentative" in str(verdict)
+
+    def test_labels_distinct(self):
+        assert Label.HUMAN is not Label.ROBOT
+        assert {label.value for label in Label} == {
+            "human", "robot", "undecided"
+        }

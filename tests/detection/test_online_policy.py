@@ -1,0 +1,223 @@
+"""Tests for repro.detection.online and repro.detection.policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.online import DetectionLatency, OnlineClassifier, OnlineConfig
+from repro.detection.policy import PolicyAction, PolicyConfig, RobotPolicy
+from repro.detection.session import SessionKey, SessionState
+from repro.detection.verdict import Label, Verdict
+from repro.http.headers import Headers
+from repro.http.message import Method, Request
+from repro.http.uri import Url
+
+
+def _state(**fields) -> SessionState:
+    state = SessionState(
+        session_id="s1", key=SessionKey("1.1.1.1", "UA"), started_at=0.0
+    )
+    for name, value in fields.items():
+        setattr(state, name, value)
+    return state
+
+
+def _request(path="/a.html", t=0.0, method=Method.GET):
+    return Request(
+        method=method,
+        url=Url.parse(f"http://h.com{path}"),
+        client_ip="1.1.1.1",
+        headers=Headers([("User-Agent", "UA")]),
+        timestamp=t,
+    )
+
+
+class TestOnlineDecisionOrder:
+    def test_wrong_key_beats_everything(self):
+        state = _state(
+            wrong_key_fetches=1, mouse_event_at=3, request_count=5
+        )
+        verdict = OnlineClassifier().classify(state)
+        assert verdict.label is Label.ROBOT
+        assert verdict.definitive
+
+    def test_hidden_link_is_robot(self):
+        verdict = OnlineClassifier().classify(
+            _state(hidden_link_at=2, request_count=3)
+        )
+        assert verdict.label is Label.ROBOT
+        assert verdict.definitive
+
+    def test_ua_mismatch_is_robot(self):
+        verdict = OnlineClassifier().classify(
+            _state(ua_mismatch_at=2, request_count=3)
+        )
+        assert verdict.label is Label.ROBOT
+
+    def test_mouse_event_is_human(self):
+        verdict = OnlineClassifier().classify(
+            _state(mouse_event_at=4, request_count=6)
+        )
+        assert verdict.label is Label.HUMAN
+        assert verdict.definitive
+        assert verdict.at_request == 4
+
+    def test_captcha_pass_is_human(self):
+        verdict = OnlineClassifier().classify(
+            _state(captcha_passed_at=8, request_count=9)
+        )
+        assert verdict.label is Label.HUMAN
+
+    def test_js_no_mouse_needs_grace(self):
+        config = OnlineConfig(js_no_mouse_grace=10)
+        classifier = OnlineClassifier(config)
+        early = _state(js_executed_at=5, css_beacon_at=2, request_count=8)
+        assert classifier.classify(early).label is Label.HUMAN  # CSS wins
+        late = _state(js_executed_at=5, css_beacon_at=2, request_count=20)
+        verdict = classifier.classify(late)
+        assert verdict.label is Label.ROBOT
+        assert not verdict.definitive
+
+    def test_css_only_is_tentative_human(self):
+        verdict = OnlineClassifier().classify(
+            _state(css_beacon_at=3, request_count=12)
+        )
+        assert verdict.label is Label.HUMAN
+        assert not verdict.definitive
+
+    def test_nothing_after_min_requests_is_robot(self):
+        verdict = OnlineClassifier().classify(_state(request_count=15))
+        assert verdict.label is Label.ROBOT
+
+    def test_undecided_early(self):
+        verdict = OnlineClassifier().classify(_state(request_count=3))
+        assert verdict.label is Label.UNDECIDED
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(min_requests=0)
+
+
+class TestFinalClassification:
+    def test_final_follows_set_algebra(self):
+        classifier = OnlineClassifier()
+        human = _state(css_beacon_at=2, request_count=20)
+        assert classifier.classify_final(human).label is Label.HUMAN
+        js_bot = _state(css_beacon_at=2, js_executed_at=3, request_count=20)
+        assert classifier.classify_final(js_bot).label is Label.ROBOT
+
+    def test_final_hard_evidence_first(self):
+        state = _state(css_beacon_at=2, hidden_link_at=5, request_count=20)
+        verdict = OnlineClassifier().classify_final(state)
+        assert verdict.label is Label.ROBOT
+        assert verdict.definitive
+
+
+class TestLatency:
+    def test_from_state(self):
+        state = _state(css_beacon_at=4, beacon_js_at=6, mouse_event_at=11)
+        latency = DetectionLatency.from_state(state)
+        assert latency.css_at == 4
+        assert latency.beacon_js_at == 6
+        assert latency.mouse_at == 11
+
+
+class TestPolicy:
+    def _robot_verdict(self):
+        return Verdict(Label.ROBOT, "test", at_request=1)
+
+    def test_humans_always_allowed(self):
+        policy = RobotPolicy()
+        decision = policy.evaluate(
+            _state(), Verdict(Label.HUMAN, "x"), _request()
+        )
+        assert decision.action is PolicyAction.ALLOW
+
+    def test_undecided_allowed_by_default(self):
+        policy = RobotPolicy()
+        decision = policy.evaluate(
+            _state(), Verdict(Label.UNDECIDED, "x"), _request()
+        )
+        assert decision.action is PolicyAction.ALLOW
+
+    def test_robot_watched_until_threshold(self):
+        policy = RobotPolicy(PolicyConfig(get_rate_limit=1000))
+        decision = policy.evaluate(
+            _state(), self._robot_verdict(), _request()
+        )
+        assert decision.action is PolicyAction.WATCH
+
+    def test_get_rate_trips_block(self):
+        policy = RobotPolicy(PolicyConfig(get_rate_limit=10))
+        state = _state()
+        decision = None
+        for i in range(30):
+            decision = policy.evaluate(
+                state, self._robot_verdict(), _request(t=i * 0.1)
+            )
+        assert decision.action is PolicyAction.BLOCK
+        assert "GET request rate" in decision.reason
+        assert policy.blocked_sessions == 1
+
+    def test_cgi_rate_trips_block(self):
+        policy = RobotPolicy(PolicyConfig(cgi_rate_limit=5))
+        state = _state()
+        decision = None
+        for i in range(20):
+            decision = policy.evaluate(
+                state,
+                self._robot_verdict(),
+                _request(path=f"/cgi-bin/s.cgi?q={i}", t=i * 0.2),
+            )
+        assert decision.action is PolicyAction.BLOCK
+        assert "CGI" in decision.reason
+
+    def test_4xx_trips_block(self):
+        policy = RobotPolicy(PolicyConfig(error_4xx_limit=5))
+        state = _state(status_4xx=6)
+        decision = policy.evaluate(state, self._robot_verdict(), _request())
+        assert decision.action is PolicyAction.BLOCK
+
+    def test_wrong_key_trips_immediately(self):
+        policy = RobotPolicy()
+        state = _state(wrong_key_fetches=1)
+        decision = policy.evaluate(state, self._robot_verdict(), _request())
+        assert decision.action is PolicyAction.BLOCK
+
+    def test_blocked_stays_blocked(self):
+        policy = RobotPolicy(PolicyConfig(error_4xx_limit=1))
+        state = _state(status_4xx=2)
+        policy.evaluate(state, self._robot_verdict(), _request())
+        decision = policy.evaluate(state, self._robot_verdict(), _request(t=9))
+        assert decision.action is PolicyAction.BLOCK
+        assert policy.is_blocked("s1")
+
+    def test_rates_decay_over_time(self):
+        policy = RobotPolicy(PolicyConfig(get_rate_limit=10))
+        state = _state()
+        # Slow requests: one per minute never accumulates to the limit.
+        for i in range(30):
+            decision = policy.evaluate(
+                state, self._robot_verdict(), _request(t=i * 60.0)
+            )
+        assert decision.action is PolicyAction.WATCH
+
+    def test_human_verdict_clears_watch(self):
+        policy = RobotPolicy()
+        state = _state()
+        policy.evaluate(state, self._robot_verdict(), _request())
+        policy.evaluate(state, Verdict(Label.HUMAN, "x"), _request(t=1))
+        assert not policy.is_blocked("s1")
+
+    def test_forget(self):
+        policy = RobotPolicy(PolicyConfig(error_4xx_limit=1))
+        state = _state(status_4xx=5)
+        policy.evaluate(state, self._robot_verdict(), _request())
+        policy.forget("s1")
+        assert not policy.is_blocked("s1")
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(cgi_rate_limit=0)
+        with pytest.raises(ValueError):
+            PolicyConfig(error_4xx_limit=0)

@@ -1,0 +1,123 @@
+"""Tests for repro.detection.service: the per-request pipeline."""
+
+from __future__ import annotations
+
+from repro.detection.events import EventKind
+from repro.detection.service import DetectionService
+from repro.detection.verdict import Label
+from repro.http.headers import Headers
+from repro.http.message import Method, Request, Response
+from repro.http.uri import Url
+from repro.instrument.keys import InstrumentationRegistry
+from repro.instrument.rewriter import InstrumentConfig, PageInstrumenter
+from repro.util.rng import RngStream
+
+
+def _request(path, ip="1.2.3.4", ua="Mozilla/4.0 (compatible; MSIE 6.0)", t=0.0):
+    return Request(
+        method=Method.GET,
+        url=Url.parse(f"http://h.com{path}"),
+        client_ip=ip,
+        headers=Headers([("User-Agent", ua)]),
+        timestamp=t,
+    )
+
+
+def _service_with_instrumented_page():
+    registry = InstrumentationRegistry()
+    service = DetectionService(registry)
+    instrumenter = PageInstrumenter(
+        registry, RngStream(12, "t"), InstrumentConfig()
+    )
+    page = instrumenter.instrument(
+        "<html><head></head><body><p>x</p></body></html>",
+        Url.parse("http://h.com/index.html"),
+        "1.2.3.4",
+        0.0,
+    )
+    return service, page
+
+
+class TestPipeline:
+    def test_session_started_event(self):
+        service, _ = _service_with_instrumented_page()
+        outcome = service.handle_request(_request("/index.html"))
+        assert outcome.session_started
+        assert outcome.events[0].kind is EventKind.SESSION_STARTED
+        assert outcome.request_index == 1
+
+    def test_css_beacon_fetch_produces_event_and_flag(self):
+        service, page = _service_with_instrumented_page()
+        css = next(p for p in page.probes if p.kind.value == "css_beacon")
+        service.handle_request(_request("/index.html"))
+        outcome = service.handle_request(_request(css.path, t=1.0))
+        assert any(
+            e.kind is EventKind.CSS_BEACON_FETCH for e in outcome.events
+        )
+        assert outcome.state.css_beacon_at == 2
+
+    def test_valid_mouse_fetch_yields_human_verdict(self):
+        service, page = _service_with_instrumented_page()
+        real = next(
+            p for p in page.probes
+            if p.kind.value == "mouse_image" and p.is_real_key
+        )
+        service.handle_request(_request("/index.html"))
+        outcome = service.handle_request(_request(real.path, t=1.0))
+        assert outcome.verdict.label is Label.HUMAN
+        assert outcome.verdict.definitive
+
+    def test_decoy_fetch_yields_blocked_robot(self):
+        service, page = _service_with_instrumented_page()
+        decoy = next(
+            p for p in page.probes
+            if p.kind.value == "mouse_image" and not p.is_real_key
+        )
+        service.handle_request(_request("/index.html"))
+        outcome = service.handle_request(_request(decoy.path, t=1.0))
+        assert outcome.verdict.label is Label.ROBOT
+        assert outcome.verdict.definitive
+        # The wrong-key threshold blocks immediately.
+        assert outcome.blocked
+
+    def test_note_response_accounts_bytes(self):
+        service, _ = _service_with_instrumented_page()
+        outcome = service.handle_request(_request("/index.html"))
+        service.note_response(
+            outcome, Response(status=200, body=b"abcd")
+        )
+        assert outcome.state.bytes_served == 4
+        assert outcome.state.status_2xx == 1
+
+    def test_note_captcha(self):
+        service, _ = _service_with_instrumented_page()
+        outcome = service.handle_request(_request("/index.html"))
+        event = service.note_captcha(outcome.state, True, 2.0)
+        assert event.kind is EventKind.CAPTCHA_PASSED
+        assert outcome.state.passed_captcha
+
+    def test_finalize_and_reductions(self):
+        service, page = _service_with_instrumented_page()
+        css = next(p for p in page.probes if p.kind.value == "css_beacon")
+        for i in range(12):
+            service.handle_request(_request("/index.html", t=float(i)))
+        service.handle_request(_request(css.path, t=20.0))
+        finished = service.finalize()
+        assert len(finished) == 1
+        sets = service.session_sets()
+        assert sets.summary().css_downloads == 1
+        latencies = service.detection_latencies()
+        assert latencies[0].css_at == 13
+
+    def test_event_log_collects(self):
+        service, _ = _service_with_instrumented_page()
+        service.handle_request(_request("/index.html"))
+        assert any(
+            e.kind is EventKind.SESSION_STARTED for e in service.event_log
+        )
+
+    def test_separate_sessions_per_ua(self):
+        service, _ = _service_with_instrumented_page()
+        a = service.handle_request(_request("/index.html", ua="A"))
+        b = service.handle_request(_request("/index.html", ua="B"))
+        assert a.state is not b.state

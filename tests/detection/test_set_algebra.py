@@ -1,0 +1,128 @@
+"""Tests for repro.detection.set_algebra."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detection.session import SessionKey, SessionState
+from repro.detection.set_algebra import SessionSets
+
+
+def _session(css=False, js=False, mouse=False, captcha=False,
+             hidden=False, mismatch=False, n=0):
+    state = SessionState(
+        session_id=f"s{n}", key=SessionKey("1.1.1.1", "UA"), started_at=0.0
+    )
+    if css:
+        state.css_beacon_at = 1
+    if js:
+        state.js_executed_at = 2
+    if mouse:
+        state.mouse_event_at = 3
+    if captcha:
+        state.captcha_passed_at = 4
+    if hidden:
+        state.hidden_link_at = 5
+    if mismatch:
+        state.ua_mismatch_at = 6
+    return state
+
+
+class TestFormula:
+    def test_css_only_is_human(self):
+        sets = SessionSets.from_sessions([_session(css=True)])
+        assert sets.summary().human_upper_count == 1
+
+    def test_mouse_only_is_human(self):
+        sets = SessionSets.from_sessions([_session(mouse=True)])
+        assert sets.summary().human_upper_count == 1
+
+    def test_js_without_mouse_excluded(self):
+        sets = SessionSets.from_sessions([_session(css=True, js=True)])
+        assert sets.summary().human_upper_count == 0
+
+    def test_js_with_mouse_included(self):
+        sets = SessionSets.from_sessions(
+            [_session(css=True, js=True, mouse=True)]
+        )
+        assert sets.summary().human_upper_count == 1
+
+    def test_nothing_is_robot(self):
+        sets = SessionSets.from_sessions([_session()])
+        assert sets.summary().human_upper_count == 0
+
+
+class TestPaperNumbers:
+    def test_paper_table1_arithmetic(self):
+        """Feed the exact Table 1 set sizes and check §3.1's numbers."""
+        from repro.detection.set_algebra import SetAlgebraSummary
+
+        summary = SetAlgebraSummary(
+            total_sessions=929_922,
+            css_downloads=268_952,
+            js_executions=251_706,
+            mouse_movements=207_368,
+            captcha_passes=84_924,
+            hidden_link_follows=9_323,
+            ua_mismatches=6_288,
+            human_upper_count=225_220,
+        )
+        assert abs(summary.lower_bound - 0.223) < 0.001
+        assert abs(summary.upper_bound - 0.242) < 0.001
+        assert abs(summary.bound_gap - 0.019) < 0.001
+        assert abs(summary.max_false_positive_rate - 0.024) < 0.002
+
+    def test_fraction_lookup(self):
+        sets = SessionSets.from_sessions(
+            [_session(css=True), _session(), _session(), _session()]
+        )
+        assert sets.summary().fraction("css_downloads") == 0.25
+
+
+class TestIncrementalConsistency:
+    def test_add_matches_from_sessions(self):
+        sessions = [
+            _session(css=True, js=True, n=1),
+            _session(mouse=True, js=True, n=2),
+            _session(hidden=True, n=3),
+            _session(captcha=True, css=True, n=4),
+        ]
+        incremental = SessionSets()
+        for s in sessions:
+            incremental.add(s)
+        batch = SessionSets.from_sessions(sessions)
+        assert incremental.summary() == batch.summary()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    flags=st.lists(
+        st.tuples(st.booleans(), st.booleans(), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_bounds_ordered(flags):
+    """lower bound <= upper bound, and max FPR in [0, 1], always."""
+    sessions = [
+        _session(css=css, js=js, mouse=mouse, n=i)
+        for i, (css, js, mouse) in enumerate(flags)
+    ]
+    summary = SessionSets.from_sessions(sessions).summary()
+    assert summary.lower_bound <= summary.upper_bound + 1e-12
+    assert 0.0 <= summary.max_false_positive_rate <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    flags=st.lists(
+        st.tuples(st.booleans(), st.booleans(), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_mouse_sessions_always_in_upper(flags):
+    """Every S_MM member is in S_H: the formula never excludes proof."""
+    for i, (css, js, _) in enumerate(flags):
+        state = _session(css=css, js=js, mouse=True, n=i)
+        assert state.is_human_by_set_algebra

@@ -1,0 +1,104 @@
+"""Tests for repro.html.links."""
+
+from __future__ import annotations
+
+from repro.html.links import extract_references
+
+
+class TestEmbeddedObjects:
+    def test_stylesheet(self):
+        refs = extract_references(
+            '<link rel="stylesheet" href="/a.css"><link rel="icon" href="/f.ico">'
+        )
+        assert refs.stylesheets == ["/a.css"]
+        assert "/f.ico" in refs.images
+
+    def test_link_without_href_ignored(self):
+        refs = extract_references('<link rel="stylesheet">')
+        assert refs.stylesheets == []
+
+    def test_external_script(self):
+        refs = extract_references('<script src="/s.js"></script>')
+        assert refs.scripts == ["/s.js"]
+        assert refs.inline_scripts == []
+
+    def test_inline_script(self):
+        refs = extract_references("<script>var a = 1;</script>")
+        assert refs.scripts == []
+        assert refs.inline_scripts == ["var a = 1;"]
+
+    def test_images_and_audio(self):
+        refs = extract_references(
+            '<img src="/i.jpg"><embed src="/s.wav">'
+        )
+        assert refs.images == ["/i.jpg"]
+        assert refs.audio == ["/s.wav"]
+
+    def test_embedded_objects_aggregate(self):
+        refs = extract_references(
+            '<link rel="stylesheet" href="/a.css"><script src="/s.js">'
+            '</script><img src="/i.jpg">'
+        )
+        assert set(refs.embedded_objects) == {"/a.css", "/s.js", "/i.jpg"}
+
+
+class TestLinks:
+    def test_visible_link(self):
+        refs = extract_references('<a href="/x.html">go</a>')
+        assert refs.visible_links == ["/x.html"]
+        assert refs.hidden_links == []
+
+    def test_mailto_ignored(self):
+        refs = extract_references('<a href="mailto:a@b.c">mail</a>')
+        assert refs.visible_links == []
+
+    def test_javascript_href_ignored(self):
+        refs = extract_references('<a href="javascript:f()">x</a>')
+        assert refs.visible_links == []
+
+    def test_hidden_by_transparent_image(self):
+        refs = extract_references(
+            '<a href="/hidden.html">'
+            '<img src="/transp_1x1.jpg" width="1" height="1"></a>'
+        )
+        assert refs.hidden_links == ["/hidden.html"]
+        assert refs.visible_links == []
+
+    def test_hidden_by_style(self):
+        refs = extract_references(
+            '<a href="/h.html" style="display: none">secret</a>'
+        )
+        assert refs.hidden_links == ["/h.html"]
+
+    def test_anchor_with_text_is_visible(self):
+        refs = extract_references(
+            '<a href="/x.html"><img src="/transp_1x1.jpg" width="1" '
+            'height="1">label</a>'
+        )
+        assert refs.visible_links == ["/x.html"]
+
+    def test_anchor_with_normal_image_is_visible(self):
+        refs = extract_references(
+            '<a href="/x.html"><img src="/banner.jpg" width="468" '
+            'height="60"></a>'
+        )
+        assert refs.visible_links == ["/x.html"]
+
+    def test_all_links_union(self):
+        refs = extract_references(
+            '<a href="/v.html">v</a>'
+            '<a href="/h.html"><img src="/transp_1x1.jpg" width="1" height="1"></a>'
+        )
+        assert set(refs.all_links) == {"/v.html", "/h.html"}
+
+
+class TestBodyHandlers:
+    def test_onmousemove_captured(self):
+        refs = extract_references(
+            '<body onmousemove="return f();"><p>x</p></body>'
+        )
+        assert refs.body_event_handlers == {"onmousemove": "return f();"}
+
+    def test_non_event_attrs_ignored(self):
+        refs = extract_references('<body class="x"><p>y</p></body>')
+        assert refs.body_event_handlers == {}

@@ -1,0 +1,80 @@
+"""Tests for repro.html.parser."""
+
+from __future__ import annotations
+
+from repro.html.document import Element, Text
+from repro.html.parser import parse_html
+
+
+class TestStructure:
+    def test_root_is_html(self):
+        root = parse_html("<p>x</p>")
+        assert root.tag == "html"
+
+    def test_head_and_body_synthesised(self):
+        root = parse_html("<p>x</p>")
+        assert root.find("head") is not None
+        body = root.find("body")
+        assert body is not None
+        assert body.find("p") is not None
+
+    def test_explicit_head_body_kept(self):
+        root = parse_html(
+            "<html><head><title>t</title></head><body><p>x</p></body></html>"
+        )
+        head = root.find("head")
+        assert head.find("title") is not None
+        assert root.find("body").find("p") is not None
+
+    def test_title_moved_to_head(self):
+        root = parse_html("<title>t</title><p>x</p>")
+        assert root.find("head").find("title") is not None
+
+    def test_nesting(self):
+        root = parse_html("<div><ul><li>a</li><li>b</li></ul></div>")
+        ul = root.find("ul")
+        assert len(ul.find_all("li")) == 2
+
+    def test_void_elements_take_no_children(self):
+        root = parse_html("<img src='x'><p>y</p>")
+        img = root.find("img")
+        assert img.children == []
+        assert root.find("p") is not None
+
+
+class TestRecovery:
+    def test_stray_end_tag_ignored(self):
+        root = parse_html("<p>x</p></div>")
+        assert root.find("p") is not None
+
+    def test_implicit_close_pops_to_ancestor(self):
+        root = parse_html("<div><span>x</div>after")
+        div = root.find("div")
+        assert div.find("span") is not None
+
+    def test_text_content(self):
+        root = parse_html("<p>a<b>b</b>c</p>")
+        assert root.find("p").text_content() == "abc"
+
+    def test_empty_document(self):
+        root = parse_html("")
+        assert root.find("head") is not None
+        assert root.find("body") is not None
+
+
+class TestElementApi:
+    def test_get_set(self):
+        e = Element("a", {"href": "x"})
+        assert e.get("HREF") == "x"
+        e.set("Href", "y")
+        assert e.get("href") == "y"
+
+    def test_find_depth_first(self):
+        root = parse_html("<div><p>1</p></div><p>2</p>")
+        assert root.find("p").text_content() == "1"
+
+    def test_prepend(self):
+        e = Element("div")
+        e.append(Text("b"))
+        e.prepend(Text("a"))
+        assert [t.data for t in e.children] == ["a", "b"]

@@ -1,0 +1,81 @@
+"""Tests for repro.html.serializer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.html.document import Element, Text
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+
+
+class TestSerialize:
+    def test_simple(self):
+        e = Element("p")
+        e.append(Text("x"))
+        assert serialize(e) == "<p>x</p>"
+
+    def test_attributes_quoted(self):
+        e = Element("a", {"href": "x.html"})
+        assert serialize(e) == '<a href="x.html"></a>'
+
+    def test_attribute_escaping(self):
+        e = Element("a", {"title": 'say "hi" & bye'})
+        assert 'title="say &quot;hi&quot; &amp; bye"' in serialize(e)
+
+    def test_void_element_no_close(self):
+        e = Element("img", {"src": "x"})
+        assert serialize(e) == '<img src="x">'
+
+    def test_script_raw_text_survives(self):
+        e = Element("script")
+        e.append(Text("if (a<b) { c('<p>'); }"))
+        assert serialize(e) == "<script>if (a<b) { c('<p>'); }</script>"
+
+
+class TestRoundTrip:
+    def test_parse_serialize_parse_stable(self):
+        html = (
+            '<html><head><title>t</title><link rel="stylesheet" href="/a.css">'
+            '</head><body onmousemove="return f();"><p>x</p>'
+            '<img src="/i.jpg"><script>var a = 1;</script></body></html>'
+        )
+        once = serialize(parse_html(html))
+        twice = serialize(parse_html(once))
+        assert once == twice
+
+
+_tags = st.sampled_from(["div", "p", "span", "ul", "li", "b"])
+_texts = st.text(
+    alphabet="abcdefghij 0123456789", min_size=0, max_size=12
+)
+
+
+@st.composite
+def _trees(draw, depth=0):
+    element = Element(draw(_tags))
+    n_children = draw(st.integers(min_value=0, max_value=3 if depth < 2 else 0))
+    for _ in range(n_children):
+        if draw(st.booleans()) and depth < 2:
+            element.append(draw(_trees(depth=depth + 1)))
+        else:
+            text = draw(_texts)
+            if text:
+                element.append(Text(text))
+    return element
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=_trees())
+def test_property_serialize_parse_preserves_text(tree):
+    html = serialize(tree)
+    reparsed = parse_html(html)
+    assert reparsed.text_content() == tree.text_content()
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=_trees())
+def test_property_serialize_is_idempotent_through_parse(tree):
+    once = serialize(parse_html(serialize(tree)))
+    twice = serialize(parse_html(once))
+    assert once == twice

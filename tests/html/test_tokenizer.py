@@ -1,0 +1,126 @@
+"""Tests for repro.html.tokenizer."""
+
+from __future__ import annotations
+
+from repro.html.tokenizer import (
+    CommentToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    tokenize,
+)
+
+
+def toks(html: str):
+    return list(tokenize(html))
+
+
+class TestBasicTokens:
+    def test_text_only(self):
+        assert toks("hello") == [TextToken("hello")]
+
+    def test_simple_element(self):
+        out = toks("<p>x</p>")
+        assert out == [
+            StartTagToken("p", {}, False),
+            TextToken("x"),
+            EndTagToken("p"),
+        ]
+
+    def test_tag_names_lowercased(self):
+        out = toks("<DIV></DIV>")
+        assert out[0] == StartTagToken("div", {}, False)
+        assert out[1] == EndTagToken("div")
+
+    def test_comment(self):
+        assert toks("<!-- hi -->") == [CommentToken(" hi ")]
+
+    def test_doctype_as_comment(self):
+        out = toks("<!DOCTYPE html><p></p>")
+        assert isinstance(out[0], CommentToken)
+
+    def test_empty_input(self):
+        assert toks("") == []
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        out = toks('<a href="x.html">')
+        assert out[0].attrs == {"href": "x.html"}
+
+    def test_single_quoted(self):
+        out = toks("<a href='x.html'>")
+        assert out[0].attrs == {"href": "x.html"}
+
+    def test_bare_value(self):
+        out = toks("<img width=1>")
+        assert out[0].attrs == {"width": "1"}
+
+    def test_valueless_attribute(self):
+        out = toks("<input disabled>")
+        assert out[0].attrs == {"disabled": ""}
+
+    def test_attribute_names_lowercased(self):
+        out = toks('<a HREF="x">')
+        assert "href" in out[0].attrs
+
+    def test_multiple_attributes(self):
+        out = toks('<link rel="stylesheet" type="text/css" href="/a.css">')
+        assert out[0].attrs == {
+            "rel": "stylesheet",
+            "type": "text/css",
+            "href": "/a.css",
+        }
+
+    def test_first_duplicate_wins(self):
+        out = toks('<a href="1" href="2">')
+        assert out[0].attrs["href"] == "1"
+
+    def test_self_closing(self):
+        out = toks("<br/>")
+        assert out[0].self_closing is True
+
+    def test_event_handler_attribute(self):
+        out = toks('<body onmousemove="return f();">')
+        assert out[0].attrs["onmousemove"] == "return f();"
+
+
+class TestRawText:
+    def test_script_content_not_parsed(self):
+        html = "<script>if (a < b) { x = '<p>'; }</script>"
+        out = toks(html)
+        assert out[0] == StartTagToken("script", {}, False)
+        assert out[1] == TextToken("if (a < b) { x = '<p>'; }")
+        assert out[2] == EndTagToken("script")
+
+    def test_style_content_not_parsed(self):
+        out = toks("<style>a < b</style>")
+        assert out[1] == TextToken("a < b")
+
+    def test_unclosed_script_consumes_rest(self):
+        out = toks("<script>var x = 1;")
+        assert out[-1] == TextToken("var x = 1;")
+
+    def test_script_case_insensitive_close(self):
+        out = toks("<script>x</SCRIPT>after")
+        assert TextToken("after") in out
+
+
+class TestMalformed:
+    def test_stray_lt(self):
+        out = toks("a < b")
+        assert "".join(t.data for t in out if isinstance(t, TextToken)) == (
+            "a < b"
+        )
+
+    def test_unclosed_tag_at_eof(self):
+        out = toks("<a href='x'")
+        assert out[0].attrs == {"href": "x"}
+
+    def test_unclosed_comment(self):
+        out = toks("<!-- never closed")
+        assert isinstance(out[0], CommentToken)
+
+    def test_stray_end_tag_slash(self):
+        out = toks("</ notatag>")
+        assert isinstance(out[0], TextToken)

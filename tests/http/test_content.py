@@ -1,0 +1,91 @@
+"""Tests for repro.http.content."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.content import (
+    ContentKind,
+    classify_content_type,
+    classify_path,
+    content_type_for_path,
+)
+from repro.http.uri import Url
+
+
+def _u(path_and_query: str) -> Url:
+    return Url.parse(f"http://e.com{path_and_query}")
+
+
+class TestClassifyPath:
+    @pytest.mark.parametrize(
+        "path,kind",
+        [
+            ("/a.html", ContentKind.HTML),
+            ("/a.htm", ContentKind.HTML),
+            ("/style.css", ContentKind.CSS),
+            ("/s.js", ContentKind.JAVASCRIPT),
+            ("/p.jpg", ContentKind.IMAGE),
+            ("/p.png", ContentKind.IMAGE),
+            ("/s.wav", ContentKind.AUDIO),
+            ("/favicon.ico", ContentKind.FAVICON),
+            ("/robots.txt", ContentKind.ROBOTS_TXT),
+            ("/cgi-bin/x.cgi", ContentKind.CGI),
+            ("/cgi-bin/anything", ContentKind.CGI),
+            ("/dir/", ContentKind.HTML),
+            ("/readme", ContentKind.HTML),
+            ("/archive.zip", ContentKind.OTHER),
+        ],
+    )
+    def test_paths(self, path, kind):
+        assert classify_path(_u(path)) is kind
+
+    def test_html_with_query_is_cgi(self):
+        assert classify_path(_u("/page.php?id=1")) is ContentKind.CGI
+
+    def test_extensionless_with_query_is_cgi(self):
+        assert classify_path(_u("/search?q=x")) is ContentKind.CGI
+
+    def test_image_with_query_stays_image(self):
+        assert classify_path(_u("/p.jpg?v=2")) is ContentKind.IMAGE
+
+
+class TestClassifyContentType:
+    @pytest.mark.parametrize(
+        "ctype,kind",
+        [
+            ("text/html", ContentKind.HTML),
+            ("text/html; charset=utf-8", ContentKind.HTML),
+            ("text/css", ContentKind.CSS),
+            ("application/javascript", ContentKind.JAVASCRIPT),
+            ("image/jpeg", ContentKind.IMAGE),
+            ("image/x-icon", ContentKind.IMAGE),
+            ("audio/wav", ContentKind.AUDIO),
+            ("application/pdf", ContentKind.OTHER),
+            (None, ContentKind.OTHER),
+        ],
+    )
+    def test_types(self, ctype, kind):
+        assert classify_content_type(ctype) is kind
+
+
+class TestKindProperties:
+    def test_embedded_objects(self):
+        assert ContentKind.CSS.is_embedded_object
+        assert ContentKind.IMAGE.is_embedded_object
+        assert not ContentKind.HTML.is_embedded_object
+
+    def test_presentation(self):
+        assert ContentKind.CSS.is_presentation
+        assert not ContentKind.JAVASCRIPT.is_presentation
+
+
+class TestContentTypeForPath:
+    def test_html(self):
+        assert content_type_for_path(_u("/a.html")) == "text/html"
+
+    def test_png_specific(self):
+        assert content_type_for_path(_u("/p.png")) == "image/png"
+
+    def test_favicon(self):
+        assert content_type_for_path(_u("/favicon.ico")) == "image/x-icon"

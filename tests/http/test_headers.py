@@ -1,0 +1,86 @@
+"""Tests for repro.http.headers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.headers import Headers
+
+
+class TestBasics:
+    def test_get_case_insensitive(self):
+        h = Headers([("User-Agent", "x")])
+        assert h.get("user-agent") == "x"
+        assert h.get("USER-AGENT") == "x"
+
+    def test_get_default(self):
+        assert Headers().get("X", "d") == "d"
+
+    def test_add_preserves_multiple(self):
+        h = Headers()
+        h.add("Via", "a")
+        h.add("Via", "b")
+        assert h.get_all("via") == ["a", "b"]
+        assert h.get("Via") == "a"
+
+    def test_set_replaces(self):
+        h = Headers([("X", "1"), ("X", "2")])
+        h.set("x", "3")
+        assert h.get_all("X") == ["3"]
+
+    def test_remove_absent_ok(self):
+        h = Headers()
+        h.remove("nothing")
+        assert len(h) == 0
+
+    def test_contains(self):
+        h = Headers([("A", "1")])
+        assert "a" in h
+        assert "b" not in h
+
+    def test_iteration_order(self):
+        h = Headers([("A", "1"), ("B", "2")])
+        assert list(h) == [("A", "1"), ("B", "2")]
+
+    def test_copy_independent(self):
+        h = Headers([("A", "1")])
+        c = h.copy()
+        c.set("A", "2")
+        assert h.get("A") == "1"
+
+    def test_equality_case_insensitive(self):
+        assert Headers([("a", "1")]) == Headers([("A", "1")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Headers().add("", "x")
+
+
+class TestConvenience:
+    def test_user_agent(self):
+        assert Headers([("User-Agent", "UA")]).user_agent == "UA"
+        assert Headers().user_agent is None
+
+    def test_referer(self):
+        assert Headers([("Referer", "r")]).referer == "r"
+
+    def test_content_type(self):
+        assert Headers([("Content-Type", "text/html")]).content_type == (
+            "text/html"
+        )
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("no-cache, no-store", True),
+            ("no-store", True),
+            ("NO-CACHE", True),
+            ("max-age=60", False),
+            (None, False),
+        ],
+    )
+    def test_is_uncacheable(self, value, expected):
+        h = Headers()
+        if value is not None:
+            h.set("Cache-Control", value)
+        assert h.is_uncacheable() is expected

@@ -1,0 +1,91 @@
+"""Tests for repro.http.message."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.content import ContentKind
+from repro.http.headers import Headers
+from repro.http.message import (
+    Method,
+    Request,
+    Response,
+    error_response,
+    html_response,
+)
+from repro.http.status import StatusClass
+from repro.http.uri import Url
+
+
+def _request(path: str = "/a.html", **kwargs) -> Request:
+    return Request(
+        method=kwargs.pop("method", Method.GET),
+        url=Url.parse(f"http://e.com{path}"),
+        client_ip=kwargs.pop("client_ip", "10.0.0.1"),
+        headers=kwargs.pop("headers", Headers([("User-Agent", "UA")])),
+        timestamp=kwargs.pop("timestamp", 1.0),
+    )
+
+
+class TestRequest:
+    def test_fields(self):
+        req = _request()
+        assert req.user_agent == "UA"
+        assert req.referer is None
+        assert req.path_kind is ContentKind.HTML
+
+    def test_referer(self):
+        req = _request(headers=Headers([("Referer", "http://x/")]))
+        assert req.referer == "http://x/"
+        assert req.user_agent == ""
+
+    def test_empty_ip_rejected(self):
+        with pytest.raises(ValueError):
+            _request(client_ip="")
+
+    def test_describe(self):
+        assert _request().describe() == "GET http://e.com/a.html"
+
+
+class TestResponse:
+    def test_status_class(self):
+        assert Response(status=302).status_class is StatusClass.REDIRECT
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            Response(status=999)
+
+    def test_content_kind(self):
+        resp = Response(
+            status=200,
+            headers=Headers([("Content-Type", "image/gif")]),
+            body=b"xx",
+        )
+        assert resp.content_kind is ContentKind.IMAGE
+        assert resp.size == 2
+
+    def test_text_decoding(self):
+        resp = Response(status=200, body="héllo".encode("utf-8"))
+        assert resp.text == "héllo"
+
+    def test_describe(self):
+        resp = html_response("<html></html>")
+        assert "200 OK" in resp.describe()
+        assert "text/html" in resp.describe()
+
+
+class TestConstructors:
+    def test_html_response(self):
+        resp = html_response("<p>x</p>")
+        assert resp.status == 200
+        assert resp.content_kind is ContentKind.HTML
+        assert not resp.headers.is_uncacheable()
+
+    def test_html_response_uncacheable(self):
+        resp = html_response("<p>x</p>", uncacheable=True)
+        assert resp.headers.is_uncacheable()
+
+    def test_error_response(self):
+        resp = error_response(404)
+        assert resp.status == 404
+        assert b"Not Found" in resp.body

@@ -1,0 +1,62 @@
+"""Tests for repro.http.status."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.status import (
+    StatusClass,
+    describe_status,
+    is_client_error,
+    is_redirect,
+    is_server_error,
+    is_success,
+    status_class,
+)
+
+
+class TestStatusClass:
+    @pytest.mark.parametrize(
+        "code,expected",
+        [
+            (100, StatusClass.INFORMATIONAL),
+            (200, StatusClass.SUCCESS),
+            (204, StatusClass.SUCCESS),
+            (302, StatusClass.REDIRECT),
+            (404, StatusClass.CLIENT_ERROR),
+            (503, StatusClass.SERVER_ERROR),
+        ],
+    )
+    def test_mapping(self, code, expected):
+        assert status_class(code) is expected
+
+    @pytest.mark.parametrize("code", [0, 99, 600, -1])
+    def test_out_of_range(self, code):
+        with pytest.raises(ValueError):
+            status_class(code)
+
+
+class TestPredicates:
+    def test_success(self):
+        assert is_success(200)
+        assert not is_success(302)
+
+    def test_redirect(self):
+        assert is_redirect(301)
+        assert not is_redirect(200)
+
+    def test_client_error(self):
+        assert is_client_error(404)
+        assert not is_client_error(500)
+
+    def test_server_error(self):
+        assert is_server_error(502)
+        assert not is_server_error(404)
+
+
+class TestDescribe:
+    def test_known(self):
+        assert describe_status(404) == "404 Not Found"
+
+    def test_unknown_uses_class(self):
+        assert describe_status(299) == "299 2XX"

@@ -1,0 +1,138 @@
+"""Tests for repro.http.uri."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.http.uri import Url, resolve_url
+
+
+class TestParse:
+    def test_basic(self):
+        url = Url.parse("http://www.example.com/a/b.html?q=1")
+        assert url.scheme == "http"
+        assert url.host == "www.example.com"
+        assert url.path == "/a/b.html"
+        assert url.query == "q=1"
+
+    def test_defaults(self):
+        url = Url.parse("http://example.com")
+        assert url.path == "/"
+        assert url.query == ""
+        assert url.port is None
+
+    def test_port(self):
+        url = Url.parse("http://example.com:8080/x")
+        assert url.port == 8080
+        assert url.origin == "http://example.com:8080"
+
+    def test_host_lowered(self):
+        assert Url.parse("http://WWW.Example.COM/").host == "www.example.com"
+
+    def test_fragment_dropped(self):
+        assert Url.parse("http://e.com/a#frag").path == "/a"
+
+    def test_dot_segments_normalised(self):
+        assert Url.parse("http://e.com/a/../b/./c").path == "/b/c"
+
+    @pytest.mark.parametrize(
+        "text", ["", "not a url", "ftp://x/y", "http//missing.colon/"]
+    )
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            Url.parse(text)
+
+    def test_str_roundtrip(self):
+        text = "http://example.com/a/b.html?q=1"
+        assert str(Url.parse(text)) == text
+
+
+class TestAccessors:
+    def test_filename_and_extension(self):
+        url = Url.parse("http://e.com/dir/page.HTML")
+        assert url.filename == "page.HTML"
+        assert url.extension == "html"
+
+    def test_directory_url_normalises_trailing_slash(self):
+        # Trailing slashes are stripped during normalisation, so the last
+        # segment becomes the filename.
+        assert Url.parse("http://e.com/dir/").filename == "dir"
+        assert Url.parse("http://e.com/").filename == ""
+
+    def test_no_extension(self):
+        assert Url.parse("http://e.com/readme").extension == ""
+
+    def test_sibling(self):
+        url = Url.parse("http://e.com/a/b/page.html")
+        assert str(url.sibling("x.js")) == "http://e.com/a/b/x.js"
+
+    def test_with_path(self):
+        url = Url.parse("http://e.com/a")
+        assert str(url.with_path("/z", "k=v")) == "http://e.com/z?k=v"
+
+    def test_path_and_query(self):
+        assert Url.parse("http://e.com/a?b=c").path_and_query == "/a?b=c"
+
+
+class TestResolve:
+    BASE = Url.parse("http://www.example.com/sec/page.html")
+
+    def test_absolute(self):
+        out = resolve_url(self.BASE, "http://other.com/x")
+        assert out.host == "other.com"
+
+    def test_host_relative(self):
+        assert str(resolve_url(self.BASE, "/img/a.jpg")) == (
+            "http://www.example.com/img/a.jpg"
+        )
+
+    def test_document_relative(self):
+        assert str(resolve_url(self.BASE, "img/a.jpg")) == (
+            "http://www.example.com/sec/img/a.jpg"
+        )
+
+    def test_parent_relative(self):
+        assert str(resolve_url(self.BASE, "../top.html")) == (
+            "http://www.example.com/top.html"
+        )
+
+    def test_query_kept(self):
+        out = resolve_url(self.BASE, "/cgi-bin/s.cgi?q=1")
+        assert out.query == "q=1"
+
+    def test_fragment_only_returns_base(self):
+        assert resolve_url(self.BASE, "#top") == self.BASE
+
+    def test_empty_returns_base(self):
+        assert resolve_url(self.BASE, "") == self.BASE
+
+    def test_protocol_relative(self):
+        out = resolve_url(self.BASE, "//cdn.example.com/x.js")
+        assert out.host == "cdn.example.com"
+        assert out.scheme == "http"
+
+
+_path_segments = st.lists(
+    st.text(alphabet="abcdefg0123456789", min_size=1, max_size=6),
+    min_size=0,
+    max_size=4,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(segments=_path_segments)
+def test_property_parse_str_stable(segments):
+    text = "http://host.example/" + "/".join(segments)
+    once = Url.parse(text)
+    twice = Url.parse(str(once))
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(segments=_path_segments, ref=_path_segments)
+def test_property_resolution_stays_absolute(segments, ref):
+    base = Url.parse("http://host.example/" + "/".join(segments))
+    out = resolve_url(base, "/".join(ref))
+    assert out.path.startswith("/")
+    assert out.host == "host.example"

@@ -1,0 +1,70 @@
+"""Tests for repro.http.useragent."""
+
+from __future__ import annotations
+
+from repro.http.useragent import (
+    BrowserFamily,
+    known_browser_agents,
+    known_robot_agents,
+    parse_user_agent,
+)
+
+
+class TestCatalogue:
+    def test_browser_catalogue_nonempty(self):
+        agents = known_browser_agents()
+        assert len(agents) >= 8
+        assert all(ua.family.is_standard_browser for ua in agents)
+
+    def test_family_filter(self):
+        ie_agents = known_browser_agents(BrowserFamily.IE)
+        assert ie_agents
+        assert all(ua.family is BrowserFamily.IE for ua in ie_agents)
+
+    def test_robot_catalogue(self):
+        robots = known_robot_agents()
+        assert len(robots) >= 5
+        assert all(ua.family is BrowserFamily.ROBOT for ua in robots)
+
+    def test_catalogue_strings_self_parse(self):
+        # Every catalogued browser string parses back to its own family
+        # (the UA-echo mismatch detector depends on parseability).
+        for ua in known_browser_agents():
+            parsed = parse_user_agent(ua.string)
+            assert parsed.family.is_standard_browser
+
+
+class TestParse:
+    def test_ie(self):
+        parsed = parse_user_agent(
+            "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)"
+        )
+        assert parsed.family is BrowserFamily.IE
+
+    def test_firefox(self):
+        parsed = parse_user_agent(
+            "Mozilla/5.0 (X11; U; Linux) Gecko/2006 Firefox/1.5"
+        )
+        assert parsed.family is BrowserFamily.FIREFOX
+
+    def test_opera_over_msie(self):
+        parsed = parse_user_agent(
+            "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1) Opera 8.50"
+        )
+        assert parsed.family is BrowserFamily.OPERA
+
+    def test_robot_markers_dominate(self):
+        parsed = parse_user_agent("Mozilla/5.0 (compatible; Googlebot/2.1)")
+        assert parsed.family is BrowserFamily.ROBOT
+
+    def test_wget(self):
+        assert parse_user_agent("Wget/1.10.2").family is BrowserFamily.ROBOT
+
+    def test_empty(self):
+        assert parse_user_agent("").family is BrowserFamily.UNKNOWN
+        assert parse_user_agent(None).family is BrowserFamily.UNKNOWN
+
+    def test_unknown(self):
+        assert parse_user_agent("CustomClient/1.0").family is (
+            BrowserFamily.UNKNOWN
+        )

@@ -1,0 +1,93 @@
+"""Tests for the CSS beacon, hidden link and UA probe primitives."""
+
+from __future__ import annotations
+
+from repro.html.links import extract_references
+from repro.html.serializer import serialize
+from repro.instrument.css_beacon import make_css_beacon
+from repro.instrument.hidden_link import TRAP_IMAGE_NAME, make_hidden_link
+from repro.instrument.ua_probe import (
+    interpret_ua_probe,
+    make_ua_probe_script,
+    sanitize_user_agent,
+)
+
+
+class TestCssBeacon:
+    def test_path_shape(self, rng):
+        beacon = make_css_beacon(rng)
+        assert beacon.path.endswith(".css")
+        assert beacon.path[1:-4].isdigit()
+        assert len(beacon.path[1:-4]) == 10
+
+    def test_link_element(self, rng):
+        beacon = make_css_beacon(rng)
+        element = beacon.link_element("h.com")
+        html = serialize(element)
+        refs = extract_references(html)
+        assert refs.stylesheets == [f"http://h.com{beacon.path}"]
+
+    def test_distinct_per_page(self, rng):
+        paths = {make_css_beacon(rng).path for _ in range(50)}
+        assert len(paths) == 50
+
+
+class TestHiddenLink:
+    def test_paths(self, rng):
+        trap = make_hidden_link(rng)
+        assert trap.page_path.startswith("/hidden_")
+        assert trap.image_path == f"/{TRAP_IMAGE_NAME}"
+
+    def test_anchor_is_invisible(self, rng):
+        trap = make_hidden_link(rng)
+        html = serialize(trap.anchor_element("h.com"))
+        refs = extract_references(html)
+        assert refs.hidden_links == [f"http://h.com{trap.page_path}"]
+        assert refs.visible_links == []
+
+    def test_trap_image_is_an_embedded_object(self, rng):
+        # Rendering browsers fetch the transparent image like any <img>.
+        trap = make_hidden_link(rng)
+        html = serialize(trap.anchor_element("h.com"))
+        refs = extract_references(html)
+        assert f"http://h.com{trap.image_path}" in refs.images
+
+
+class TestSanitizeUserAgent:
+    def test_paper_transform(self):
+        # Lowercase, spaces removed — the paper's getuseragnt().
+        assert sanitize_user_agent("Mozilla Compatible") == "mozillacompatible"
+
+    def test_slashes_mapped(self):
+        out = sanitize_user_agent("Firefox/1.5 (X11; Linux)")
+        assert "/" not in out
+        assert out == "firefox_1.5(x11;linux)"
+
+    def test_idempotent(self):
+        once = sanitize_user_agent("Mozilla/4.0 (compatible; MSIE 6.0)")
+        assert sanitize_user_agent(once) == once
+
+
+class TestUaProbe:
+    def test_interpret_roundtrip(self, rng):
+        probe = make_ua_probe_script(rng)
+        source = probe.script_source("h.com")
+        template = interpret_ua_probe(source)
+        assert template is not None
+        url = template.fetch_url("Mozilla/4.0 (compatible; MSIE 6.0)")
+        assert url.startswith(f"http://h.com{probe.prefix_path}")
+        assert url.endswith(".css")
+        assert sanitize_user_agent("Mozilla/4.0 (compatible; MSIE 6.0)") in url
+
+    def test_interpret_rejects_other_scripts(self):
+        assert interpret_ua_probe("var a = 1;") is None
+        assert interpret_ua_probe("") is None
+
+    def test_probe_script_references_navigator(self, rng):
+        source = make_ua_probe_script(rng).script_source("h.com")
+        assert "navigator.userAgent" in source
+        assert "document.write" in source
+
+    def test_distinct_prefixes(self, rng):
+        prefixes = {make_ua_probe_script(rng).prefix_path for _ in range(30)}
+        assert len(prefixes) == 30

@@ -1,0 +1,99 @@
+"""Integration: every experiment module runs end to end and renders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import figure2, figure3, figure4, overhead, table1, table2
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "figure2", "figure3", "figure4", "overhead"
+        }
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure9")
+
+
+class TestTable1:
+    def test_runs_and_renders(self):
+        result = table1.run(n_sessions=150, seed=31)
+        text = result.render()
+        assert "Downloaded CSS" in text
+        assert "paper vs measured" in text
+        measured = result.measured_percentages()
+        assert set(measured) == set(table1.PAPER_TABLE1)
+        assert all(0.0 <= v <= 100.0 for v in measured.values())
+
+    def test_cache_reuses_run(self):
+        a = table1.run_codeen_week_cached(150, 31)
+        b = table1.run_codeen_week_cached(150, 31)
+        assert a is b
+
+
+class TestFigure2:
+    def test_runs_and_renders(self):
+        result = figure2.run(n_sessions=150, seed=31)
+        text = result.render()
+        assert "CDF" in text
+        readings = result.readings()
+        assert ("mouse", 20) in readings
+        quantiles = result.quantiles()
+        assert "css" in quantiles and "mouse" in quantiles
+
+
+class TestFigure3:
+    def test_runs_and_renders(self):
+        result = figure3.run(n_sessions=150, seed=31)
+        text = result.render()
+        assert "Jan" in text and "Robot" in text
+        assert 0.5 < result.measured_suppression <= 1.0
+
+    def test_timeline_shape(self):
+        result = figure3.run(n_sessions=150, seed=31)
+        timeline = result.timeline
+        assert timeline.peak_month().robot >= max(
+            timeline.robot_series[8:12]
+        )
+
+
+class TestFigure4AndTable2:
+    def test_runs_and_renders(self):
+        result = figure4.run(
+            n_sessions=160, seed=77, rounds=40,
+            checkpoints=(20, 40),
+        )
+        assert len(result.evaluations) == 2
+        for evaluation in result.evaluations:
+            assert 0.7 <= evaluation.test_accuracy <= 1.0
+            assert evaluation.train_accuracy >= evaluation.test_accuracy - 0.08
+        assert "Accuracy" in result.render()
+
+    def test_table2_contributions(self):
+        result = table2.run(n_sessions=160, seed=77, checkpoint=160)
+        text = result.render()
+        assert "REFERRER%" in text
+        weights = dict(result.contributions)
+        assert sum(weights.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_table2_requires_trained_checkpoint(self):
+        with pytest.raises(ValueError):
+            table2.run(n_sessions=160, seed=77, checkpoint=999)
+
+
+class TestOverhead:
+    def test_generation_measurement(self):
+        mean_seconds, mean_bytes = overhead.measure_generation(samples=30)
+        # ~1KB script in well under a millisecond on any modern machine.
+        assert mean_seconds < 0.01
+        assert 500 < mean_bytes < 4000
+
+    def test_runs_and_renders(self):
+        result = overhead.run(n_sessions=150, seed=31)
+        text = result.render()
+        assert "µs" in text
+        assert 0.0 < result.bandwidth_fraction < 0.05

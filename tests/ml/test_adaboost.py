@@ -1,0 +1,109 @@
+"""Tests for repro.ml.adaboost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.evaluate import accuracy
+
+
+def _xor_data(n=200, seed=0):
+    """XOR-ish data no single stump can fit: boosting must combine."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where(x[:, 0] * x[:, 1] > 0, 1.0, -1.0)
+    return x, y
+
+
+class TestTraining:
+    def test_separable_data_perfect(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        model = AdaBoostClassifier(n_rounds=5).fit(x, y)
+        assert accuracy(model.predict(x), y) == 1.0
+
+    def test_stops_early_on_perfect_stump(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        model = AdaBoostClassifier(n_rounds=100).fit(x, y)
+        assert model.rounds < 100
+
+    def test_boosting_beats_single_stump_on_xor(self):
+        x, y = _xor_data()
+        single = AdaBoostClassifier(n_rounds=1).fit(x, y)
+        boosted = AdaBoostClassifier(n_rounds=100).fit(x, y)
+        acc_single = accuracy(single.predict(x), y)
+        acc_boosted = accuracy(boosted.predict(x), y)
+        assert acc_boosted > acc_single + 0.15
+
+    def test_training_accuracy_high_on_xor(self):
+        # Axis-aligned stumps fight XOR; boosting still reaches well
+        # above chance on the training set.
+        x, y = _xor_data()
+        model = AdaBoostClassifier(n_rounds=200).fit(x, y)
+        assert accuracy(model.predict(x), y) > 0.8
+
+    def test_alphas_positive(self):
+        x, y = _xor_data()
+        model = AdaBoostClassifier(n_rounds=50).fit(x, y)
+        assert all(alpha > 0 for alpha in model.alphas)
+
+    def test_staged_scores_shape(self):
+        x, y = _xor_data(n=60)
+        model = AdaBoostClassifier(n_rounds=20).fit(x, y)
+        staged = model.staged_scores(x)
+        assert staged.shape == (model.rounds, 60)
+        # The final staged margin equals score().
+        assert np.allclose(staged[-1], model.score(x))
+
+    def test_generalises_on_interval_concept(self):
+        """An interval (|x0| > 0.5) needs two stumps combined — a concept
+        boosting represents exactly, so it must generalise well."""
+
+        def interval_data(seed):
+            rng = np.random.default_rng(seed)
+            x = rng.uniform(-1, 1, size=(300, 2))
+            y = np.where(np.abs(x[:, 0]) > 0.5, 1.0, -1.0)
+            return x, y
+
+        x, y = interval_data(1)
+        model = AdaBoostClassifier(n_rounds=100).fit(x, y)
+        x_test, y_test = interval_data(2)
+        assert accuracy(model.predict(x_test), y_test) > 0.95
+
+
+class TestValidation:
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier().fit(np.zeros((4, 1)), np.array([0, 1, 2, 3]))
+
+    def test_rejects_one_class(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier().fit(
+                np.zeros((4, 1)), np.array([1.0, 1.0, 1.0, 1.0])
+            )
+
+    def test_rejects_1d_x(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier().fit(np.zeros(4), np.array([1.0, -1.0, 1, -1]))
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_rounds=0)
+
+    def test_score_validates_width(self):
+        x, y = _xor_data(n=40)
+        model = AdaBoostClassifier(n_rounds=5).fit(x, y)
+        with pytest.raises(ValueError):
+            model.score(np.zeros((3, 5)))
+
+
+class TestDeterminism:
+    def test_same_data_same_model(self):
+        x, y = _xor_data()
+        a = AdaBoostClassifier(n_rounds=30).fit(x, y)
+        b = AdaBoostClassifier(n_rounds=30).fit(x, y)
+        assert a.alphas == b.alphas
+        assert [s.feature for s in a.stumps] == [s.feature for s in b.stumps]

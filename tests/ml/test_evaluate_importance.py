@@ -1,0 +1,134 @@
+"""Tests for repro.ml.evaluate, repro.ml.importance and repro.ml.dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.dataset import (
+    Dataset,
+    HUMAN,
+    ROBOT,
+    SessionExample,
+    build_matrix,
+)
+from repro.ml.evaluate import accuracy, confusion, train_test_split
+from repro.ml.features import ATTRIBUTE_NAMES, N_ATTRIBUTES
+from repro.ml.importance import attribute_contributions, top_attributes
+from repro.util.rng import RngStream
+
+
+def _example(label, value, session_id="s", n=40):
+    vec = np.full(N_ATTRIBUTES, float(value))
+    return SessionExample(
+        session_id=session_id,
+        label=label,
+        snapshots={20: vec},
+        final=vec,
+        request_count=n,
+    )
+
+
+class TestDataset:
+    def test_at_prefers_snapshot(self):
+        ex = _example(HUMAN, 1.0)
+        ex.snapshots[20] = np.full(N_ATTRIBUTES, 5.0)
+        assert ex.at(20)[0] == 5.0
+
+    def test_at_falls_back_to_final(self):
+        ex = _example(HUMAN, 2.0)
+        assert ex.at(160)[0] == 2.0
+
+    def test_at_raises_without_data(self):
+        ex = SessionExample(session_id="s", label=HUMAN)
+        with pytest.raises(KeyError):
+            ex.at(20)
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            SessionExample(session_id="s", label=0)
+
+    def test_class_balance(self):
+        ds = Dataset(
+            examples=[_example(HUMAN, 1), _example(ROBOT, 2), _example(ROBOT, 3)]
+        )
+        assert ds.class_balance() == (1, 2)
+
+    def test_build_matrix(self):
+        examples = [_example(HUMAN, 1.0), _example(ROBOT, 0.0)]
+        x, y = build_matrix(examples, 20)
+        assert x.shape == (2, N_ATTRIBUTES)
+        assert list(y) == [1.0, -1.0]
+
+    def test_build_matrix_empty(self):
+        x, y = build_matrix([], 20)
+        assert x.shape == (0, N_ATTRIBUTES)
+
+
+class TestSplit:
+    def test_per_class_even(self):
+        examples = [
+            _example(HUMAN, i, session_id=f"h{i}") for i in range(10)
+        ] + [_example(ROBOT, i, session_id=f"r{i}") for i in range(30)]
+        train, test = train_test_split(examples, RngStream(1))
+        assert len(train) + len(test) == 40
+        train_humans = sum(1 for e in train if e.label == HUMAN)
+        test_humans = sum(1 for e in test if e.label == HUMAN)
+        assert train_humans == 5
+        assert test_humans == 5
+
+    def test_deterministic(self):
+        examples = [
+            _example(HUMAN, i, session_id=f"e{i}") for i in range(8)
+        ] + [_example(ROBOT, i, session_id=f"r{i}") for i in range(8)]
+        a_train, _ = train_test_split(examples, RngStream(3))
+        b_train, _ = train_test_split(examples, RngStream(3))
+        assert [e.session_id for e in a_train] == [
+            e.session_id for e in b_train
+        ]
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, -1, 1]), np.array([1, 1, 1])) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, -1]))
+
+    def test_confusion(self):
+        pred = np.array([1, 1, -1, -1])
+        true = np.array([1, -1, -1, 1])
+        c = confusion(pred, true)
+        assert (c.true_human, c.false_human, c.true_robot, c.false_robot) == (
+            1, 1, 1, 1
+        )
+        assert c.accuracy == 0.5
+        assert c.false_positive_rate == 0.5
+        assert c.false_negative_rate == 0.5
+
+
+class TestImportance:
+    def test_contributions_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(100, N_ATTRIBUTES))
+        y = np.where(x[:, 3] > 0, 1.0, -1.0)
+        model = AdaBoostClassifier(n_rounds=20).fit(x, y)
+        contributions = attribute_contributions(model)
+        assert sum(w for _, w in contributions) == pytest.approx(1.0)
+
+    def test_informative_attribute_ranks_first(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, N_ATTRIBUTES))
+        y = np.where(x[:, 9] > 0.1, 1.0, -1.0)  # RESPCODE_3XX% column
+        model = AdaBoostClassifier(n_rounds=30).fit(x, y)
+        assert top_attributes(model, 1) == [ATTRIBUTE_NAMES[9]]
+
+    def test_top_k_validation(self):
+        x = np.random.default_rng(0).normal(size=(50, N_ATTRIBUTES))
+        y = np.where(x[:, 0] > 0, 1.0, -1.0)
+        model = AdaBoostClassifier(n_rounds=5).fit(x, y)
+        with pytest.raises(ValueError):
+            top_attributes(model, 0)

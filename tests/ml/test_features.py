@@ -1,0 +1,155 @@
+"""Tests for repro.ml.features: Table 2's 12 attributes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.http.headers import Headers
+from repro.http.message import Method, Request, Response
+from repro.http.uri import Url
+from repro.ml.features import ATTRIBUTE_NAMES, FeatureAccumulator
+
+IDX = {name: i for i, name in enumerate(ATTRIBUTE_NAMES)}
+
+
+def _exchange(
+    path="/a.html",
+    method=Method.GET,
+    referer=None,
+    status=200,
+    ctype="text/html",
+    body=b"",
+):
+    headers = Headers()
+    if referer:
+        headers.set("Referer", referer)
+    request = Request(
+        method=method,
+        url=Url.parse(f"http://h.com{path}"),
+        client_ip="1.1.1.1",
+        headers=headers,
+    )
+    response = Response(
+        status=status,
+        headers=Headers([("Content-Type", ctype)]),
+        body=body,
+    )
+    return request, response
+
+
+class TestCounts:
+    def test_empty_vector_zero(self):
+        acc = FeatureAccumulator()
+        assert np.all(acc.vector() == 0)
+
+    def test_head_pct(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange(method=Method.HEAD))
+        acc.observe(*_exchange())
+        assert acc.vector()[IDX["HEAD%"]] == 50.0
+
+    def test_html_pct(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange("/a.html"))
+        acc.observe(*_exchange("/i.jpg", ctype="image/jpeg"))
+        assert acc.vector()[IDX["HTML%"]] == 50.0
+
+    def test_image_pct_uses_response_type(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange("/x", ctype="image/gif"))
+        acc.observe(*_exchange("/y.html"))
+        assert acc.vector()[IDX["IMAGE%"]] == 50.0
+
+    def test_cgi_pct(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange("/cgi-bin/s.cgi?q=1"))
+        acc.observe(*_exchange())
+        vec = acc.vector()
+        assert vec[IDX["CGI%"]] == 50.0
+        assert vec[IDX["HTML%"]] == 50.0  # CGI is not counted as HTML
+
+    def test_favicon_pct(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange("/favicon.ico", ctype="image/x-icon"))
+        acc.observe(*_exchange())
+        assert acc.vector()[IDX["FAVICON%"]] == 50.0
+
+    def test_status_classes(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange(status=200))
+        acc.observe(*_exchange(status=302))
+        acc.observe(*_exchange(status=404))
+        acc.observe(*_exchange(status=500))
+        vec = acc.vector()
+        assert vec[IDX["RESPCODE_2XX%"]] == 25.0
+        assert vec[IDX["RESPCODE_3XX%"]] == 25.0
+        assert vec[IDX["RESPCODE_4XX%"]] == 25.0
+
+
+class TestReferrers:
+    def test_referrer_pct(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange(referer="http://h.com/prev.html"))
+        acc.observe(*_exchange())
+        assert acc.vector()[IDX["REFERRER%"]] == 50.0
+
+    def test_unseen_referrer(self):
+        acc = FeatureAccumulator()
+        # First request to /a.html; then a request claiming /a.html as
+        # referrer (seen), then one claiming an alien page (unseen).
+        acc.observe(*_exchange("/a.html"))
+        acc.observe(*_exchange("/b.html", referer="http://h.com/a.html"))
+        acc.observe(*_exchange("/c.html", referer="http://spam.example/x"))
+        vec = acc.vector()
+        assert vec[IDX["REFERRER%"]] == pytest.approx((2 / 3) * 100)
+        assert vec[IDX["UNSEEN_REFERRER%"]] == pytest.approx((1 / 3) * 100)
+
+
+class TestPageStructureTracking:
+    PAGE = (
+        b'<html><head><link rel="stylesheet" href="/s.css"></head>'
+        b'<body><a href="/next.html">n</a><img src="/i.jpg"></body></html>'
+    )
+
+    def test_embedded_object_pct(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange("/a.html", body=self.PAGE))
+        acc.observe(*_exchange("/s.css", ctype="text/css"))
+        acc.observe(*_exchange("/i.jpg", ctype="image/jpeg"))
+        acc.observe(*_exchange("/unrelated.css", ctype="text/css"))
+        vec = acc.vector()
+        assert vec[IDX["EMBEDDED_OBJ%"]] == 50.0
+
+    def test_link_following_pct(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange("/a.html", body=self.PAGE))
+        acc.observe(*_exchange("/next.html"))
+        acc.observe(*_exchange("/random.html"))
+        vec = acc.vector()
+        assert abs(vec[IDX["LINK_FOLLOWING%"]] - (1 / 3) * 100) < 1e-9
+
+    def test_objects_of_unfetched_pages_dont_count(self):
+        acc = FeatureAccumulator()
+        acc.observe(*_exchange("/s.css", ctype="text/css"))
+        assert acc.vector()[IDX["EMBEDDED_OBJ%"]] == 0.0
+
+    def test_tracking_bounded(self):
+        acc = FeatureAccumulator(max_tracked_urls=2)
+        body = (
+            b'<html><body><a href="/1.html">1</a><a href="/2.html">2</a>'
+            b'<a href="/3.html">3</a></body></html>'
+        )
+        acc.observe(*_exchange("/a.html", body=body))
+        assert len(acc._known_links) <= 2
+
+
+class TestVectorShape:
+    def test_length_and_bounds(self):
+        acc = FeatureAccumulator()
+        for i in range(10):
+            acc.observe(*_exchange(f"/p{i}.html"))
+        vec = acc.vector()
+        assert vec.shape == (len(ATTRIBUTE_NAMES),)
+        assert np.all(vec >= 0.0)
+        assert np.all(vec <= 100.0)

@@ -1,0 +1,143 @@
+"""Tests for repro.proxy.cache and repro.proxy.ratelimit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.headers import Headers
+from repro.http.message import Method, Request, Response
+from repro.http.uri import Url
+from repro.proxy.cache import ProxyCache
+from repro.proxy.ratelimit import RateLimitConfig, TokenBucket, TokenBucketLimiter
+
+
+def _request(path="/a.css", method=Method.GET):
+    return Request(
+        method=method,
+        url=Url.parse(f"http://h.com{path}"),
+        client_ip="1.1.1.1",
+        headers=Headers(),
+    )
+
+
+def _response(ctype="text/css", status=200, uncacheable=False):
+    headers = Headers([("Content-Type", ctype)])
+    if uncacheable:
+        headers.set("Cache-Control", "no-store")
+    return Response(status=status, headers=headers, body=b"body")
+
+
+class TestCache:
+    def test_store_and_hit(self):
+        cache = ProxyCache()
+        assert cache.store(_request(), _response(), now=0.0)
+        hit = cache.lookup(_request(), now=1.0)
+        assert hit is not None
+        assert hit.served_from_cache
+        assert hit.body == b"body"
+
+    def test_miss_before_store(self):
+        cache = ProxyCache()
+        assert cache.lookup(_request(), now=0.0) is None
+        assert cache.stats.misses == 1
+
+    def test_html_never_cached(self):
+        cache = ProxyCache()
+        assert not cache.store(
+            _request("/p.html"), _response("text/html"), now=0.0
+        )
+
+    def test_uncacheable_header_respected(self):
+        cache = ProxyCache()
+        assert not cache.store(
+            _request(), _response(uncacheable=True), now=0.0
+        )
+
+    def test_non_200_not_cached(self):
+        cache = ProxyCache()
+        assert not cache.store(_request(), _response(status=404), now=0.0)
+
+    def test_non_get_not_cached(self):
+        cache = ProxyCache()
+        assert not cache.store(
+            _request(method=Method.HEAD), _response(), now=0.0
+        )
+        assert cache.lookup(_request(method=Method.HEAD), now=0.0) is None
+
+    def test_ttl_expiry(self):
+        cache = ProxyCache(ttl=10.0)
+        cache.store(_request(), _response(), now=0.0)
+        assert cache.lookup(_request(), now=5.0) is not None
+        assert cache.lookup(_request(), now=20.0) is None
+
+    def test_lru_eviction(self):
+        cache = ProxyCache(capacity=2)
+        cache.store(_request("/a.css"), _response(), now=0.0)
+        cache.store(_request("/b.css"), _response(), now=0.0)
+        cache.lookup(_request("/a.css"), now=1.0)  # refresh a
+        cache.store(_request("/c.css"), _response(), now=2.0)
+        assert cache.lookup(_request("/a.css"), now=3.0) is not None
+        assert cache.lookup(_request("/b.css"), now=3.0) is None
+        assert cache.stats.evictions == 1
+
+    def test_query_is_part_of_key(self):
+        cache = ProxyCache()
+        cache.store(_request("/i.jpg?v=1"), _response("image/jpeg"), now=0.0)
+        assert cache.lookup(_request("/i.jpg?v=2"), now=0.0) is None
+
+    def test_hit_rate(self):
+        cache = ProxyCache()
+        cache.store(_request(), _response(), now=0.0)
+        cache.lookup(_request(), now=0.0)
+        cache.lookup(_request("/other.css"), now=0.0)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProxyCache(capacity=0)
+        with pytest.raises(ValueError):
+            ProxyCache(ttl=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(RateLimitConfig(requests_per_second=1, burst=3))
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+
+    def test_refill(self):
+        bucket = TokenBucket(RateLimitConfig(requests_per_second=2, burst=2))
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(1.0)  # 2 tokens refilled after 1s
+
+    def test_capacity_capped(self):
+        bucket = TokenBucket(RateLimitConfig(requests_per_second=10, burst=5))
+        assert bucket.try_acquire(100.0)
+        assert bucket.tokens <= 5
+
+    def test_invalid_cost(self):
+        bucket = TokenBucket(RateLimitConfig())
+        with pytest.raises(ValueError):
+            bucket.try_acquire(0.0, cost=0)
+
+
+class TestLimiter:
+    def test_per_ip_isolation(self):
+        limiter = TokenBucketLimiter(
+            RateLimitConfig(requests_per_second=1, burst=1)
+        )
+        assert limiter.allow("1.1.1.1", 0.0)
+        assert not limiter.allow("1.1.1.1", 0.0)
+        assert limiter.allow("2.2.2.2", 0.0)
+        assert limiter.denied == 1
+        assert limiter.allowed == 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RateLimitConfig(requests_per_second=0)
+        with pytest.raises(ValueError):
+            RateLimitConfig(burst=0)

@@ -1,0 +1,147 @@
+"""Tests for repro.proxy.node and repro.proxy.network."""
+
+from __future__ import annotations
+
+from repro.http.content import ContentKind
+from repro.http.headers import Headers
+from repro.http.message import Method, Request
+from repro.http.uri import Url
+from repro.instrument.keys import BeaconKind
+from repro.proxy.ratelimit import RateLimitConfig
+
+
+def _request(site, path, ip="10.0.0.5", ua="Mozilla/4.0 (MSIE)", t=0.0):
+    return Request(
+        method=Method.GET,
+        url=Url.parse(f"http://{site.host}{path}"),
+        client_ip=ip,
+        headers=Headers([("User-Agent", ua)]),
+        timestamp=t,
+    )
+
+
+class TestNodeServing:
+    def test_html_is_instrumented_and_uncacheable(
+        self, make_node, small_site
+    ):
+        node = make_node()
+        resp = node.handle(_request(small_site, small_site.home_path))
+        assert resp.status == 200
+        assert resp.headers.is_uncacheable()
+        assert b"onmousemove" in resp.body
+        assert node.stats.pages_instrumented == 1
+        assert node.stats.instrumentation_markup_bytes > 0
+
+    def test_instrumentation_can_be_disabled(self, make_node, small_site):
+        node = make_node(instrument_enabled=False)
+        resp = node.handle(_request(small_site, small_site.home_path))
+        assert b"onmousemove" not in resp.body
+        assert node.stats.pages_instrumented == 0
+
+    def test_beacon_served_locally(self, make_node, small_site):
+        node = make_node()
+        node.handle(_request(small_site, small_site.home_path))
+        probes = node.detection.registry.outstanding("10.0.0.5")
+        css = next(p for p in probes if p.kind is BeaconKind.CSS_BEACON)
+        origin_before = node.stats.origin_requests
+        resp = node.handle(_request(small_site, css.path, t=1.0))
+        assert resp.status == 200
+        assert resp.content_type == "text/css"
+        assert node.stats.origin_requests == origin_before
+        assert node.stats.beacon_requests == 1
+        assert node.stats.beacon_bytes_served >= 0
+
+    def test_static_objects_cached(self, make_node, small_site):
+        node = make_node()
+        css_path = next(p for p in small_site.resources if p.endswith(".css"))
+        node.handle(_request(small_site, css_path))
+        resp = node.handle(_request(small_site, css_path, t=1.0))
+        assert resp.served_from_cache
+        assert node.stats.cache_hits == 1
+
+    def test_unknown_host_502(self, make_node):
+        node = make_node()
+        req = Request(
+            method=Method.GET,
+            url=Url.parse("http://unknown.example/x"),
+            client_ip="10.0.0.5",
+            headers=Headers([("User-Agent", "u")]),
+        )
+        assert node.handle(req).status == 502
+
+    def test_rate_limit_503(self, make_node, small_site):
+        node = make_node(
+            rate_limit=RateLimitConfig(requests_per_second=1, burst=2)
+        )
+        node.handle(_request(small_site, small_site.home_path, t=0.0))
+        node.handle(_request(small_site, small_site.home_path, t=0.0))
+        resp = node.handle(_request(small_site, small_site.home_path, t=0.0))
+        assert resp.status == 503
+        assert node.stats.rate_limited == 1
+
+    def test_policy_blocks_wrong_key_fetcher(self, make_node, small_site):
+        node = make_node()
+        node.handle(_request(small_site, small_site.home_path))
+        probes = node.detection.registry.outstanding("10.0.0.5")
+        decoy = next(
+            p
+            for p in probes
+            if p.kind is BeaconKind.MOUSE_IMAGE and not p.is_real_key
+        )
+        node.handle(_request(small_site, decoy.path, t=1.0))
+        # Session is now blocked: further requests answer 403.
+        resp = node.handle(_request(small_site, small_site.home_path, t=2.0))
+        assert resp.status == 403
+        assert node.stats.policy_blocked >= 1
+
+    def test_housekeeping_runs(self, make_node, small_site):
+        node = make_node()
+        node.handle(_request(small_site, small_site.home_path))
+        node.housekeeping(now=100000.0)
+        assert node.detection.tracker.live_count == 0
+        assert len(node.detection.registry) == 0
+
+
+class TestNetwork:
+    def test_sticky_assignment(self, make_network):
+        network = make_network(n_nodes=4)
+        node = network.node_for("10.1.2.3")
+        for _ in range(5):
+            assert network.node_for("10.1.2.3") is node
+
+    def test_different_ips_spread(self, make_network):
+        network = make_network(n_nodes=4)
+        nodes = {
+            network.node_for(f"10.0.{i}.{j}").node_id
+            for i in range(8)
+            for j in range(8)
+        }
+        assert len(nodes) >= 2
+
+    def test_handle_routes_and_aggregates(self, make_network, small_site):
+        network = make_network(n_nodes=2)
+        for i in range(6):
+            network.handle(
+                _request(small_site, small_site.home_path, ip=f"10.9.0.{i}")
+            )
+        stats = network.stats()
+        assert stats.requests == 6
+        assert stats.pages_instrumented == 6
+
+    def test_finalize_collects_sessions(self, make_network, small_site):
+        network = make_network(n_nodes=2)
+        for i in range(12):
+            network.handle(
+                _request(small_site, small_site.home_path, ip="10.9.9.9",
+                         t=float(i))
+            )
+        sessions = network.finalize_sessions()
+        assert len(sessions) == 1
+        assert sessions[0].request_count == 12
+
+    def test_bandwidth_fractions(self, make_network, small_site):
+        network = make_network(n_nodes=1)
+        network.handle(_request(small_site, small_site.home_path))
+        stats = network.stats()
+        assert 0.0 <= stats.beacon_bandwidth_fraction <= 1.0
+        assert stats.markup_bandwidth_fraction > 0.0

@@ -1,0 +1,89 @@
+"""Tests for repro.site.page and repro.site.resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.html.links import extract_references
+from repro.site.page import PageSpec
+from repro.site.resources import Resource, ResourceKind, synthetic_body
+
+
+class TestPageSpec:
+    def test_render_links_extractable(self):
+        page = PageSpec(
+            path="/a.html",
+            title="A",
+            links=["/b.html", "/c.html"],
+            stylesheets=["/s.css"],
+            scripts=["/j.js"],
+            images=["/i.jpg"],
+            cgi_links=["/cgi-bin/s.cgi?q=term1"],
+        )
+        refs = extract_references(page.render())
+        assert set(refs.visible_links) == {
+            "/b.html", "/c.html", "/cgi-bin/s.cgi?q=term1"
+        }
+        assert refs.stylesheets == ["/s.css"]
+        assert refs.scripts == ["/j.js"]
+        assert refs.images == ["/i.jpg"]
+
+    def test_embedded_objects(self):
+        page = PageSpec(
+            path="/a.html", title="A",
+            stylesheets=["/s.css"], scripts=["/j.js"], images=["/i.jpg"],
+        )
+        assert page.embedded_objects == ["/s.css", "/j.js", "/i.jpg"]
+
+    def test_paragraph_count(self):
+        page = PageSpec(path="/a.html", title="A", paragraphs=3)
+        assert page.render().count("<p>") == 3
+
+    def test_invalid_path(self):
+        with pytest.raises(ValueError):
+            PageSpec(path="a.html", title="A")
+
+    def test_negative_paragraphs(self):
+        with pytest.raises(ValueError):
+            PageSpec(path="/a.html", title="A", paragraphs=-1)
+
+
+class TestResource:
+    def test_content_types(self):
+        assert Resource("/a.css", ResourceKind.STYLESHEET).content_type == (
+            "text/css"
+        )
+        assert Resource("/a.js", ResourceKind.SCRIPT).content_type == (
+            "application/javascript"
+        )
+
+    def test_size(self):
+        r = Resource("/a.css", ResourceKind.STYLESHEET, b"abc")
+        assert r.size == 3
+
+    def test_invalid_path(self):
+        with pytest.raises(ValueError):
+            Resource("a.css", ResourceKind.STYLESHEET)
+
+
+class TestSyntheticBody:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            ResourceKind.STYLESHEET,
+            ResourceKind.SCRIPT,
+            ResourceKind.IMAGE,
+            ResourceKind.AUDIO,
+            ResourceKind.PAGE,
+        ],
+    )
+    def test_size_respected(self, kind):
+        body = synthetic_body(kind, 500)
+        assert len(body) == 500
+
+    def test_zero_size(self):
+        assert synthetic_body(ResourceKind.IMAGE, 0) == b""
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_body(ResourceKind.IMAGE, -1)

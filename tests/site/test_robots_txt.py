@@ -1,0 +1,60 @@
+"""Tests for repro.site.robots_txt."""
+
+from __future__ import annotations
+
+from repro.site.robots_txt import parse_robots_txt
+
+
+SAMPLE = """
+# comment
+User-agent: *
+Disallow: /cgi-bin/
+Disallow: /private/
+
+User-agent: googlebot
+Disallow: /no-google/
+"""
+
+
+class TestParse:
+    def test_wildcard_rules(self):
+        robots = parse_robots_txt(SAMPLE)
+        assert robots.disallowed_prefixes("SomeBot/1.0") == [
+            "/cgi-bin/",
+            "/private/",
+        ]
+
+    def test_specific_agent_overrides_wildcard(self):
+        robots = parse_robots_txt(SAMPLE)
+        assert robots.disallowed_prefixes("Googlebot/2.1") == ["/no-google/"]
+
+    def test_allows(self):
+        robots = parse_robots_txt(SAMPLE)
+        assert robots.allows("AnyBot", "/page.html")
+        assert not robots.allows("AnyBot", "/cgi-bin/search.cgi")
+        assert robots.allows("Googlebot", "/cgi-bin/search.cgi")
+        assert not robots.allows("Googlebot", "/no-google/x")
+
+    def test_empty_disallow_means_allow_all(self):
+        robots = parse_robots_txt("User-agent: *\nDisallow:\n")
+        assert robots.allows("bot", "/anything")
+
+    def test_unknown_directives_ignored(self):
+        robots = parse_robots_txt(
+            "User-agent: *\nCrawl-delay: 10\nDisallow: /x/\n"
+        )
+        assert robots.disallowed_prefixes("bot") == ["/x/"]
+
+    def test_grouped_agents(self):
+        text = "User-agent: a\nUser-agent: b\nDisallow: /shared/\n"
+        robots = parse_robots_txt(text)
+        assert not robots.allows("a", "/shared/x")
+        assert not robots.allows("b", "/shared/x")
+
+    def test_empty_input(self):
+        robots = parse_robots_txt("")
+        assert robots.allows("bot", "/")
+
+    def test_disallow_before_agent_ignored(self):
+        robots = parse_robots_txt("Disallow: /x/\n")
+        assert robots.allows("bot", "/x/y")

@@ -1,0 +1,62 @@
+"""Tests for repro.cli and repro.analysis.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--sessions", "50"])
+        assert args.experiment == "table1"
+        assert args.sessions == 50
+
+    def test_rejects_unknown(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["all"])
+        assert args.sessions == 1000
+        assert args.ml_sessions == 800
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure4" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["table1", "--sessions", "120", "--seed", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "Downloaded CSS" in out
+
+    def test_run_figure3_reuses_cache(self, capsys):
+        assert main(["figure3", "--sessions", "120", "--seed", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "Robot" in out
+
+
+class TestReport:
+    def test_subset_report(self):
+        report = generate_report(
+            n_sessions=120,
+            seed=61,
+            experiments=("table1", "figure2"),
+        )
+        text = report.render()
+        assert "table1" in text
+        assert "figure2" in text
+        assert report.total_seconds > 0
+        assert len(report.sections) == 2
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            generate_report(experiments=("nope",))

@@ -1,0 +1,169 @@
+"""Tests for repro.util.rng."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import RngStream
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(42)
+        b = RngStream(42)
+        assert [a.random() for _ in range(20)] == [
+            b.random() for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RngStream(42)
+        b = RngStream(43)
+        assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+    def test_split_is_stable_across_parent_consumption(self):
+        parent1 = RngStream(7)
+        child_before = parent1.split("x")
+        parent2 = RngStream(7)
+        for _ in range(100):
+            parent2.random()
+        child_after = parent2.split("x")
+        assert [child_before.random() for _ in range(10)] == [
+            child_after.random() for _ in range(10)
+        ]
+
+    def test_split_labels_are_independent(self):
+        parent = RngStream(7)
+        a = parent.split("a")
+        b = parent.split("b")
+        assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+    def test_split_label_propagates(self):
+        child = RngStream(7, "root").split("site")
+        assert child.label == "root/site"
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(-1)
+
+
+class TestScalarDraws:
+    def test_uniform_bounds(self, rng):
+        for _ in range(200):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_bounds(self, rng):
+        values = {rng.randint(1, 4) for _ in range(300)}
+        assert values == {1, 2, 3, 4}
+
+    def test_randrange_bounds(self, rng):
+        values = {rng.randrange(5) for _ in range(300)}
+        assert values == {0, 1, 2, 3, 4}
+
+    def test_bernoulli_edges(self, rng):
+        assert rng.bernoulli(1.0) is True
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.5) is True
+        assert rng.bernoulli(-0.5) is False
+
+    def test_bernoulli_rate(self, rng):
+        hits = sum(rng.bernoulli(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_exponential_mean(self, rng):
+        samples = [rng.exponential(4.0) for _ in range(4000)]
+        assert 3.6 < sum(samples) / len(samples) < 4.4
+
+    def test_exponential_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_lognormal_median(self, rng):
+        samples = sorted(rng.lognormal(8.0, 0.7) for _ in range(4001))
+        median = samples[len(samples) // 2]
+        assert 7.0 < median < 9.2
+
+    def test_poisson_zero_lambda(self, rng):
+        assert rng.poisson(0.0) == 0
+
+    def test_poisson_mean_small_lambda(self, rng):
+        samples = [rng.poisson(3.0) for _ in range(4000)]
+        assert 2.8 < sum(samples) / len(samples) < 3.2
+
+    def test_poisson_large_lambda_uses_gaussian(self, rng):
+        samples = [rng.poisson(100.0) for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 97.0 < mean < 103.0
+        assert all(s >= 0 for s in samples)
+
+    def test_poisson_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            rng.poisson(-1.0)
+
+    def test_geometric_bounds_and_mean(self, rng):
+        samples = [rng.geometric(0.25) for _ in range(4000)]
+        assert min(samples) >= 1
+        assert 3.6 < sum(samples) / len(samples) < 4.4
+
+    def test_geometric_certain_success(self, rng):
+        assert rng.geometric(1.0) == 1
+
+    def test_geometric_rejects_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+
+    def test_getrandbits_width(self, rng):
+        for _ in range(100):
+            assert 0 <= rng.getrandbits(16) < (1 << 16)
+
+
+class TestCollections:
+    def test_choice_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_choice_member(self, rng):
+        items = ["a", "b", "c"]
+        for _ in range(50):
+            assert rng.choice(items) in items
+
+    def test_weighted_choice_respects_zero_weight(self, rng):
+        for _ in range(200):
+            assert rng.weighted_choice(["x", "y"], [1.0, 0.0]) == "x"
+
+    def test_weighted_choice_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["x"], [1.0, 2.0])
+
+    def test_shuffled_preserves_multiset(self, rng):
+        items = list(range(30))
+        out = rng.shuffled(items)
+        assert sorted(out) == items
+        assert items == list(range(30))  # input untouched
+
+    def test_sample_distinct(self, rng):
+        out = rng.sample(list(range(20)), 10)
+        assert len(set(out)) == 10
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**64), label=st.text(min_size=1, max_size=20))
+def test_property_split_deterministic(seed, label):
+    a = RngStream(seed).split(label)
+    b = RngStream(seed).split(label)
+    assert a.random() == b.random()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.floats(min_value=0.01, max_value=0.99),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_geometric_at_least_one(p, seed):
+    rng = RngStream(seed)
+    value = rng.geometric(p)
+    assert value >= 1
+    assert math.isfinite(value)

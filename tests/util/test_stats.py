@@ -1,0 +1,125 @@
+"""Tests for repro.util.stats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.stats import Ecdf, mean, percentile, summarize
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_single_sample_zero_std(self):
+        s = summarize([3.0])
+        assert s.std == 0.0
+
+    def test_str_contains_count(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestEcdf:
+    def test_fraction_at_or_below(self):
+        e = Ecdf([1, 2, 3, 4])
+        assert e.fraction_at_or_below(0) == 0.0
+        assert e.fraction_at_or_below(2) == 0.5
+        assert e.fraction_at_or_below(4) == 1.0
+        assert e.fraction_at_or_below(10) == 1.0
+
+    def test_duplicates(self):
+        e = Ecdf([1, 1, 1, 5])
+        assert e.fraction_at_or_below(1) == 0.75
+
+    def test_quantile(self):
+        e = Ecdf(range(1, 101))
+        assert e.quantile(0.95) == 95
+        assert e.quantile(1.0) == 100
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Ecdf([1]).quantile(0.0)
+
+    def test_points_are_monotone(self):
+        e = Ecdf([3, 1, 4, 1, 5, 9, 2, 6])
+        points = e.points()
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Ecdf([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60))
+def test_property_percentile_within_range(data):
+    for q in (0, 25, 50, 75, 100):
+        value = percentile(data, q)
+        assert min(data) <= value <= max(data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60))
+def test_property_ecdf_monotone(data):
+    e = Ecdf(data)
+    xs = sorted({min(data), max(data), 0.0})
+    values = [e.fraction_at_or_below(x) for x in xs]
+    assert values == sorted(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=80),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_property_ecdf_quantile_inverse(data, q):
+    e = Ecdf(data)
+    v = e.quantile(q)
+    assert e.fraction_at_or_below(v) >= q

@@ -1,0 +1,60 @@
+"""Tests for repro.util.timeutil."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    format_duration,
+    parse_duration,
+)
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("90s", 90.0),
+            ("1.5h", 1.5 * HOUR),
+            ("2d", 2 * DAY),
+            ("500ms", 0.5),
+            ("3m", 3 * MINUTE),
+            ("1w", WEEK),
+            (" 10 s ", 10.0),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "10", "h", "10 hours", "-5s"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_duration(text)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.25, "250ms"),
+            (5.0, "5.0s"),
+            (90.0, "1.5m"),
+            (HOUR * 2, "2.0h"),
+            (DAY * 3, "3.0d"),
+        ],
+    )
+    def test_values(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+    def test_roundtrip_order_of_magnitude(self):
+        for seconds in (0.5, 7.0, 300.0, 7200.0, 2 * DAY):
+            parsed = parse_duration(format_duration(seconds))
+            assert 0.4 * seconds <= parsed <= 2.5 * seconds

@@ -1,0 +1,87 @@
+"""Tests for repro.workload.complaints (Figure 3 model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection.session import SessionKey, SessionState
+from repro.workload.complaints import (
+    ComplaintConfig,
+    MONTHS,
+    generate_timeline,
+    measure_robot_suppression,
+)
+
+
+def _session(label, css=False, mouse=False, js=False, n=20):
+    state = SessionState(
+        session_id="s", key=SessionKey("1.1.1.1", "UA"), started_at=0.0
+    )
+    state.true_label = label
+    state.request_count = n
+    if css:
+        state.css_beacon_at = 1
+    if mouse:
+        state.mouse_event_at = 2
+    if js:
+        state.js_executed_at = 3
+    return state
+
+
+class TestSuppressionMeasurement:
+    def test_all_caught(self):
+        robots = [_session("robot") for _ in range(10)]
+        assert measure_robot_suppression(robots) == 1.0
+
+    def test_css_fetching_robot_escapes(self):
+        escaped = [_session("robot", css=True)]
+        caught = [_session("robot") for _ in range(3)]
+        assert measure_robot_suppression(escaped + caught) == 0.75
+
+    def test_humans_ignored(self):
+        mixed = [_session("human", mouse=True), _session("robot")]
+        assert measure_robot_suppression(mixed) == 1.0
+
+    def test_empty_is_zero(self):
+        assert measure_robot_suppression([]) == 0.0
+
+
+class TestTimeline:
+    def test_thirteen_months(self):
+        timeline = generate_timeline()
+        assert len(timeline.points) == len(MONTHS)
+        assert timeline.points[0].month == "Jan"
+        assert timeline.points[-1].month == "Jan'06"
+
+    def test_peak_before_deployment(self):
+        timeline = generate_timeline()
+        peak = timeline.peak_month()
+        peak_index = [p.month for p in timeline.points].index(peak.month)
+        assert peak_index < 8, "peak must precede the Sep deployment"
+        assert peak.robot >= 5
+
+    def test_post_deployment_collapse(self):
+        timeline = generate_timeline()
+        pre = sum(p.robot for p in timeline.points[2:8])
+        post = timeline.robot_complaints_after(8)
+        assert post < pre / 4
+
+    def test_measured_suppression_drives_decline(self):
+        weak = generate_timeline(measured_suppression=0.2)
+        strong = generate_timeline(measured_suppression=0.99)
+        assert strong.robot_complaints_after(8) <= weak.robot_complaints_after(8)
+
+    def test_deterministic(self):
+        a = generate_timeline(ComplaintConfig(seed=1))
+        b = generate_timeline(ComplaintConfig(seed=1))
+        assert a.robot_series == b.robot_series
+
+    def test_human_complaints_low_throughout(self):
+        timeline = generate_timeline()
+        assert max(timeline.human_series) <= 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ComplaintConfig(robot_suppression=1.5)
+        with pytest.raises(ValueError):
+            ComplaintConfig(complaints_per_abuse_unit=-1)

@@ -1,0 +1,82 @@
+"""Tests for repro.workload.engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import RngStream
+from repro.workload.engine import WorkloadConfig, WorkloadEngine
+from repro.workload.mixes import SMOKE
+
+
+def _run(make_network, entry_url, n_sessions=40, seed=21, **config_kwargs):
+    network = make_network(n_nodes=2, seed=seed)
+    engine = WorkloadEngine(
+        network,
+        SMOKE,
+        entry_url,
+        RngStream(seed, "wl"),
+        WorkloadConfig(n_sessions=n_sessions, **config_kwargs),
+    )
+    return engine.run()
+
+
+class TestEngine:
+    def test_produces_sessions_and_summary(self, make_network, entry_url):
+        result = _run(make_network, entry_url)
+        assert len(result.records) == 40
+        assert result.summary.total_sessions == result.analyzable_count
+        assert result.analyzable_count > 0
+
+    def test_ground_truth_attached(self, make_network, entry_url):
+        result = _run(make_network, entry_url)
+        labels = {s.true_label for s in result.sessions}
+        assert labels <= {"human", "robot"}
+        assert "human" in labels and "robot" in labels
+
+    def test_kind_census(self, make_network, entry_url):
+        result = _run(make_network, entry_url)
+        census = result.kind_census()
+        assert sum(census.values()) == result.analyzable_count
+        assert set(census) <= {spec.name for spec in SMOKE.specs}
+
+    def test_sessions_of_kind(self, make_network, entry_url):
+        result = _run(make_network, entry_url)
+        humans = result.sessions_of_kind("human_js")
+        assert all(s.agent_kind == "human_js" for s in humans)
+
+    def test_captcha_funnel_runs(self, make_network, entry_url):
+        result = _run(make_network, entry_url, n_sessions=60)
+        assert result.captcha.stats.offered == 60
+
+    def test_captcha_can_be_disabled(self, make_network, entry_url):
+        result = _run(
+            make_network, entry_url, captcha_enabled=False
+        )
+        assert result.captcha.stats.offered == 0
+        assert result.summary.captcha_passes == 0
+
+    def test_feature_collection(self, make_network, entry_url):
+        result = _run(
+            make_network, entry_url, n_sessions=20, collect_features=True
+        )
+        assert len(result.dataset) == 20
+        humans, robots = result.dataset.class_balance()
+        assert humans + robots == 20
+
+    def test_deterministic(self, make_network, entry_url):
+        a = _run(make_network, entry_url, seed=5)
+        b = _run(make_network, entry_url, seed=5)
+        assert a.summary == b.summary
+        assert a.stats.requests == b.stats.requests
+
+    def test_different_seeds_differ(self, make_network, entry_url):
+        a = _run(make_network, entry_url, seed=5)
+        b = _run(make_network, entry_url, seed=6)
+        assert a.stats.requests != b.stats.requests
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_sessions=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(duration=0.0)

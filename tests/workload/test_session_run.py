@@ -1,0 +1,126 @@
+"""Tests for repro.workload.session_run."""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent, FetchAction, SessionBudget
+from repro.http.message import Method, Response, html_response
+from repro.util.rng import RngStream
+from repro.workload.session_run import SessionRunner
+
+
+class ScriptedAgent(Agent):
+    """Yields a fixed list of fetches; records what came back."""
+
+    kind = "scripted"
+    true_label = "robot"
+
+    def __init__(self, actions, **kwargs):
+        super().__init__(
+            kwargs.pop("client_ip", "10.0.0.1"),
+            kwargs.pop("user_agent", "UA"),
+            kwargs.pop("rng", RngStream(1)),
+            kwargs.pop("entry_url", "http://h.com/index.html"),
+        )
+        self._actions = actions
+        self.responses = []
+
+    def browse(self):
+        for action in self._actions:
+            result = yield action
+            self.responses.append(result.response.status)
+
+
+def _echo_handler(request):
+    return html_response(f"<html><body>{request.url.path}</body></html>")
+
+
+class TestRunner:
+    def test_runs_all_actions(self):
+        agent = ScriptedAgent(
+            [FetchAction(f"http://h.com/p{i}.html") for i in range(5)]
+        )
+        record = SessionRunner(_echo_handler).run(agent)
+        assert record.requests == 5
+        assert agent.responses == [200] * 5
+
+    def test_clock_advances_by_think_time(self):
+        agent = ScriptedAgent(
+            [
+                FetchAction("http://h.com/a.html", think_time=2.0),
+                FetchAction("http://h.com/b.html", think_time=3.0),
+            ]
+        )
+        record = SessionRunner(_echo_handler).run(agent, start_time=100.0)
+        assert record.started_at == 100.0
+        assert record.ended_at == 105.0
+        assert record.duration == 5.0
+
+    def test_max_requests_budget(self):
+        agent = ScriptedAgent(
+            [FetchAction("http://h.com/x.html") for _ in range(100)]
+        )
+        budget = SessionBudget(max_requests=10)
+        record = SessionRunner(_echo_handler, budget=budget).run(agent)
+        assert record.requests == 10
+
+    def test_max_duration_budget(self):
+        agent = ScriptedAgent(
+            [FetchAction("http://h.com/x.html", think_time=10.0)] * 100
+        )
+        budget = SessionBudget(max_duration=35.0)
+        record = SessionRunner(_echo_handler, budget=budget).run(agent)
+        assert record.requests == 4
+
+    def test_bytes_counted(self):
+        agent = ScriptedAgent([FetchAction("http://h.com/a.html")])
+        record = SessionRunner(_echo_handler).run(agent)
+        assert record.bytes_received > 0
+
+    def test_malformed_url_answered_locally(self):
+        agent = ScriptedAgent([FetchAction("not a url at all")])
+        record = SessionRunner(_echo_handler).run(agent)
+        assert record.requests == 1
+        assert agent.responses == [400]
+
+    def test_referer_and_method_propagate(self):
+        seen = {}
+
+        def handler(request):
+            seen["referer"] = request.referer
+            seen["method"] = request.method
+            return Response(status=200)
+
+        agent = ScriptedAgent(
+            [
+                FetchAction(
+                    "http://h.com/a.html",
+                    method=Method.HEAD,
+                    referer="http://r.example/p",
+                )
+            ]
+        )
+        SessionRunner(handler).run(agent)
+        assert seen["referer"] == "http://r.example/p"
+        assert seen["method"] is Method.HEAD
+
+    def test_feature_collection_produces_example(self):
+        agent = ScriptedAgent(
+            [FetchAction(f"http://h.com/p{i}.html") for i in range(25)]
+        )
+        runner = SessionRunner(_echo_handler, collect_features=True)
+        record = runner.run(agent)
+        assert record.example is not None
+        assert 20 in record.example.snapshots
+        assert record.example.final is not None
+        assert record.example.request_count == 25
+        assert record.example.label == -1  # scripted agent is a robot
+
+    def test_no_feature_collection_by_default(self):
+        agent = ScriptedAgent([FetchAction("http://h.com/a.html")])
+        record = SessionRunner(_echo_handler).run(agent)
+        assert record.example is None
+
+    def test_empty_agent(self):
+        agent = ScriptedAgent([])
+        record = SessionRunner(_echo_handler).run(agent)
+        assert record.requests == 0
