@@ -6,7 +6,10 @@ JavaScript mouse-activity beacons and standard-browser testing — together
 with every substrate they ran on: a CoDeeN-like proxy network, synthetic
 origin sites, behavioural client models (browsers and eight robot
 families), the CAPTCHA funnel, and the §4.2 AdaBoost study, plus the
-experiment harness that regenerates every table and figure.
+experiment harness that regenerates every table and figure and a trace
+subsystem (:mod:`repro.trace`) that exports any workload as a Combined
+Log Format access log and replays logs — recorded or real — through the
+detection pipeline in global timestamp order.
 
 Quickstart::
 
@@ -15,8 +18,8 @@ Quickstart::
     result = CodeenWeekExperiment(CodeenWeekConfig(n_sessions=500)).run()
     print(result.summary.lower_bound, result.summary.upper_bound)
 
-See README.md for the architecture tour and EXPERIMENTS.md for
-paper-vs-measured results.
+See README.md (repository root) for the architecture tour and the
+``repro record`` / ``repro replay`` command-line usage.
 """
 
 from repro.detection import (
@@ -40,6 +43,18 @@ from repro.ml import (
 )
 from repro.proxy import ProxyNetwork, ProxyNode
 from repro.site import OriginServer, SiteConfig, SiteGenerator
+from repro.trace import (
+    BurstArrival,
+    DiurnalArrival,
+    TraceRecord,
+    TraceRecorder,
+    TraceReplayEngine,
+    UniformArrival,
+    read_trace,
+    record_workload,
+    replay_trace,
+    write_trace,
+)
 from repro.util import RngStream
 from repro.workload import (
     CODEEN_WEEK,
@@ -49,15 +64,17 @@ from repro.workload import (
 )
 from repro.workload.codeen import CodeenWeekConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ATTRIBUTE_NAMES",
     "AdaBoostClassifier",
+    "BurstArrival",
     "CODEEN_WEEK",
     "CodeenWeekConfig",
     "CodeenWeekExperiment",
     "DetectionService",
+    "DiurnalArrival",
     "FeatureAccumulator",
     "InstrumentConfig",
     "InstrumentationRegistry",
@@ -73,8 +90,16 @@ __all__ = [
     "SessionTracker",
     "SiteConfig",
     "SiteGenerator",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayEngine",
+    "UniformArrival",
     "Verdict",
     "WorkloadConfig",
     "WorkloadEngine",
     "__version__",
+    "read_trace",
+    "record_workload",
+    "replay_trace",
+    "write_trace",
 ]

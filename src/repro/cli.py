@@ -1,11 +1,22 @@
-"""Command-line entry point: ``python -m repro <experiment> [options]``.
+"""Command-line entry point: ``python -m repro <command> [options]``.
+
+Two command families share the entry point:
+
+* experiment commands regenerate the paper's tables and figures
+  (``table1``, ``figure2``, ..., ``all``, ``list``);
+* trace commands move workloads in and out of access logs:
+  ``record`` exports a synthetic workload as a Combined Log Format
+  trace (plus probe journal), ``replay`` streams a trace — recorded or
+  real — through the detection pipeline.
 
 Examples::
 
     python -m repro list
     python -m repro table1 --sessions 2000 --seed 7
-    python -m repro figure4 --sessions 1200
     python -m repro all --sessions 1000 --ml-sessions 800
+    python -m repro record --out week.log.gz --probes week.keys.gz \
+        --sessions 500 --mode interleaved --arrival diurnal
+    python -m repro replay --trace week.log.gz --probes week.keys.gz
 """
 
 from __future__ import annotations
@@ -19,15 +30,19 @@ from repro.experiments.registry import EXPERIMENTS
 _WORKLOAD_EXPERIMENTS = ("table1", "figure2", "figure3", "overhead")
 _ML_EXPERIMENTS = ("table2", "figure4")
 
+_TRACE_COMMANDS = ("record", "replay")
+
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser."""
+    """The experiment-command argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce 'Securing Web Service by Automatic Robot "
             "Detection' (USENIX ATC 2006): regenerate any table or "
-            "figure from the paper's evaluation."
+            "figure from the paper's evaluation.  Trace tooling: "
+            "'repro record' exports a workload as an access log, "
+            "'repro replay' runs a log through the detectors."
         ),
     )
     parser.add_argument(
@@ -52,8 +67,214 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_record_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro record``."""
+    parser = argparse.ArgumentParser(
+        prog="repro record",
+        description=(
+            "Run a synthetic workload and export it as a Combined Log "
+            "Format trace plus the probe journal a faithful replay "
+            "needs.  The CAPTCHA funnel is disabled: its outcomes are "
+            "out-of-band and leave no access-log footprint."
+        ),
+    )
+    parser.add_argument(
+        "--out", required=True,
+        help="trace file to write (.gz compresses)",
+    )
+    parser.add_argument(
+        "--probes", default=None,
+        help="probe journal to write alongside the trace (.gz compresses)",
+    )
+    parser.add_argument(
+        "--mix", default="codeen_week",
+        help="population mix name (default codeen_week)",
+    )
+    parser.add_argument("--sessions", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument(
+        "--duration", default="1w",
+        help="experiment window, e.g. 90s / 1.5h / 1w (default 1w)",
+    )
+    parser.add_argument(
+        "--mode", choices=("sequential", "interleaved"),
+        default="sequential",
+    )
+    parser.add_argument(
+        "--arrival", choices=("uniform", "diurnal", "burst"),
+        default="uniform",
+        help="session arrival profile (non-uniform needs --mode interleaved)",
+    )
+    return parser
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro replay``."""
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description=(
+            "Stream one or more access logs through a fresh detection "
+            "deployment in global timestamp order and report the "
+            "session census and set-algebra bounds."
+        ),
+    )
+    parser.add_argument(
+        "--trace", required=True, nargs="+",
+        help="trace file(s); several are heap-merged by timestamp",
+    )
+    parser.add_argument(
+        "--probes", default=None,
+        help="probe journal recorded with the trace (full fidelity)",
+    )
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument(
+        "--housekeeping", type=float, default=600.0,
+        help="virtual seconds between maintenance sweeps (0 disables)",
+    )
+    parser.add_argument(
+        "--default-host", default=None,
+        help="host for origin-form request targets in real logs (GET /x)",
+    )
+    parser.add_argument(
+        "--sorted", action="store_true", dest="assume_sorted",
+        help="trust source ordering (constant-memory streaming)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="abort on the first malformed line instead of skipping",
+    )
+    return parser
+
+
+def run_record(argv: list[str]) -> int:
+    """Execute ``repro record``."""
+    from repro.trace.arrival import profile_by_name
+    from repro.trace.recorder import record_workload
+    from repro.util.rng import RngStream
+    from repro.util.timeutil import parse_duration
+    from repro.workload.codeen import CodeenWeekConfig, CodeenWeekExperiment
+    from repro.workload.engine import WorkloadConfig, WorkloadEngine
+    from repro.workload.mixes import mix_by_name
+
+    args = build_record_parser().parse_args(argv)
+    try:
+        mix = mix_by_name(args.mix)
+        duration = parse_duration(args.duration)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro record: {message}", file=sys.stderr)
+        return 2
+
+    experiment = CodeenWeekExperiment(
+        CodeenWeekConfig(
+            n_sessions=args.sessions, n_nodes=args.nodes, seed=args.seed,
+            duration=duration,
+        )
+    )
+    rng = RngStream(args.seed, "record")
+    network, entry_url = experiment.build_network(rng)
+    engine = WorkloadEngine(
+        network,
+        mix,
+        entry_url,
+        rng.split("workload"),
+        WorkloadConfig(
+            n_sessions=args.sessions,
+            duration=duration,
+            captcha_enabled=False,
+            mode=args.mode,
+            arrival=profile_by_name(args.arrival),
+        ),
+    )
+    result, recorder = record_workload(engine, args.out, args.probes)
+
+    print(f"wrote {len(recorder.records)} requests -> {args.out}")
+    if args.probes:
+        print(f"wrote {len(recorder.probes)} probe registrations -> "
+              f"{args.probes}")
+    print(f"analyzable sessions: {result.analyzable_count}")
+    for kind, count in sorted(result.kind_census().items()):
+        print(f"  {kind:20s} {count}")
+    return 0
+
+
+def run_replay(argv: list[str]) -> int:
+    """Execute ``repro replay``."""
+    from repro.proxy.network import ProxyNetwork
+    from repro.trace.replay import ReplayConfig, TraceReplayEngine
+    from repro.util.rng import RngStream
+    from repro.util.timeutil import format_duration
+
+    args = build_replay_parser().parse_args(argv)
+    network = ProxyNetwork(
+        origins={},
+        rng=RngStream(0, "replay"),
+        n_nodes=args.nodes,
+        instrument_enabled=False,
+    )
+    engine = TraceReplayEngine(
+        network,
+        ReplayConfig(
+            housekeeping_interval=args.housekeeping,
+            assume_sorted=args.assume_sorted,
+            default_host=args.default_host,
+            strict=args.strict,
+        ),
+    )
+    from repro.trace.clf import TraceParseError
+
+    try:
+        result = engine.replay(*args.trace, probes=args.probes)
+    except OSError as exc:
+        print(f"repro replay: {exc}", file=sys.stderr)
+        return 2
+    except TraceParseError as exc:
+        print(f"repro replay: {exc}", file=sys.stderr)
+        return 2
+
+    stats = result.parse_stats
+    print(
+        f"replayed {result.requests_replayed} requests over "
+        f"{format_duration(result.span)} "
+        f"({stats.malformed} malformed lines skipped, "
+        f"{result.probes_loaded} probes loaded)"
+    )
+    for sample in stats.samples:
+        print(f"  malformed: {sample}")
+    if result.requests_replayed == 0 and stats.malformed > 0:
+        print(
+            "hint: origin-form request targets (GET /path) need "
+            "--default-host <site host>"
+        )
+    if result.probe_parse_stats.malformed:
+        print(
+            f"probe journal: {result.probe_parse_stats.malformed} "
+            "malformed lines skipped"
+        )
+        for sample in result.probe_parse_stats.samples:
+            print(f"  malformed: {sample}")
+    print(f"analyzable sessions: {result.analyzable_count}")
+    census = result.kind_census()
+    for kind, count in sorted(census.items()):
+        print(f"  {kind or '(unlabeled)':20s} {count}")
+    summary = result.summary
+    print(f"downloaded CSS:      {summary.fraction('css_downloads'):6.1%}")
+    print(f"executed JavaScript: {summary.fraction('js_executions'):6.1%}")
+    print(f"mouse movement:      {summary.fraction('mouse_movements'):6.1%}")
+    print(f"human lower bound:   {summary.lower_bound:6.1%}")
+    print(f"human upper bound:   {summary.upper_bound:6.1%}")
+    print(f"max false positives: {summary.max_false_positive_rate:6.1%}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _TRACE_COMMANDS:
+        runner = run_record if argv[0] == "record" else run_replay
+        return runner(argv[1:])
+
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
+from typing import Callable
 
 from repro.http.message import Request
 
@@ -76,11 +77,29 @@ class InstrumentationRegistry:
         self._by_ip: dict[str, OrderedDict[str, RegisteredProbe]] = {}
         # client_ip -> list of UA-probe directory prefixes (newest last).
         self._ua_prefixes: dict[str, OrderedDict[str, RegisteredProbe]] = {}
+        # Observers notified of every registration (the trace recorder
+        # journals them so replays can rebuild this table).
+        self._listeners: list[Callable[[RegisteredProbe], None]] = []
 
     # -- registration -----------------------------------------------------
 
+    def add_listener(
+        self, listener: Callable[[RegisteredProbe], None]
+    ) -> None:
+        """Subscribe to every future :meth:`register` call."""
+        self._listeners.append(listener)
+
+    def remove_listener(
+        self, listener: Callable[[RegisteredProbe], None]
+    ) -> None:
+        """Unsubscribe a listener (no error if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     def register(self, probe: RegisteredProbe) -> None:
         """Add a probe; evicts the oldest entries past the per-IP cap."""
+        for listener in self._listeners:
+            listener(probe)
         table = self._by_ip.setdefault(probe.client_ip, OrderedDict())
         table[probe.path] = probe
         table.move_to_end(probe.path)

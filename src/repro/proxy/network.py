@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.detection.online import DetectionLatency
 from repro.detection.session import SessionState
@@ -90,6 +91,21 @@ class ProxyNetwork:
             )
             for i in range(n_nodes)
         ]
+        self._taps: list[Callable[[Request, Response], None]] = []
+
+    def add_tap(self, tap: Callable[[Request, Response], None]) -> None:
+        """Observe every request/response pair :meth:`handle` processes.
+
+        Taps see traffic *after* the node answered (rate limits, blocks
+        and beacon responses included) — this is the trace recorder's
+        attachment point.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[Request, Response], None]) -> None:
+        """Detach a tap (no error if absent)."""
+        if tap in self._taps:
+            self._taps.remove(tap)
 
     def node_for(self, client_ip: str) -> ProxyNode:
         """Sticky node assignment by stable hash of the client IP."""
@@ -101,7 +117,10 @@ class ProxyNetwork:
 
     def handle(self, request: Request) -> Response:
         """Route a request to its node and process it."""
-        return self.node_for(request.client_ip).handle(request)
+        response = self.node_for(request.client_ip).handle(request)
+        for tap in self._taps:
+            tap(request, response)
+        return response
 
     def housekeeping(self, now: float) -> None:
         """Run maintenance on every node."""

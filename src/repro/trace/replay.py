@@ -1,0 +1,245 @@
+"""Streaming trace replay: feed an access log through the detection
+pipeline in global timestamp order.
+
+This is how BOTracle/BotGraph-style evaluations work — the classifier is
+judged on a recorded request log rather than on scripted clients.  The
+engine heap-merges any number of trace sources (plus an optional probe
+journal) into one time-ordered event stream, pushes every request
+through :meth:`ProxyNetwork.handle`, runs periodic
+:meth:`ProxyNetwork.housekeeping` sweeps, and reduces the outcome to the
+same census/set-algebra/latency shape the synthetic engine produces
+(:class:`~repro.workload.results.SessionCensus`), so every analysis and
+reporting consumer works unchanged.
+
+Replay networks should be built with ``instrument_enabled=False``: the
+pages were already instrumented when the trace was recorded, and the
+probe journal re-creates the original registrations — minting fresh
+probes would register keys the recorded clients never fetch.  Origins
+are optional; requests with no route are answered 502, which feeds the
+per-session status counters but no detection evidence, so a census does
+not need the original site at all.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from repro.detection.online import DetectionLatency
+from repro.detection.session import SessionState
+from repro.detection.set_algebra import SetAlgebraSummary
+from repro.proxy.network import NetworkStats, ProxyNetwork
+from repro.trace.clf import ParseStats, TraceRecord, read_trace
+from repro.trace.recorder import ProbeRecord, read_probe_journal
+from repro.workload.results import SessionCensus, apply_session_identities
+
+TraceSource = Union[str, Iterable[TraceRecord]]
+ProbeSource = Union[str, Iterable[ProbeRecord]]
+
+#: Merge priorities: at equal timestamps, a page's probe registrations
+#: must land in the table before the fetches they explain.
+_PROBE_EVENT = 0
+_REQUEST_EVENT = 1
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay parameters.
+
+    ``assume_sorted`` skips the per-source sort for logs already in
+    timestamp order (the recorder writes sorted files; real access logs
+    usually are too) — required for constant-memory streaming.
+    """
+
+    housekeeping_interval: float = 600.0
+    assume_sorted: bool = False
+    default_host: str | None = None
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.housekeeping_interval < 0:
+            raise ValueError("housekeeping_interval must be non-negative")
+
+
+@dataclass
+class ReplayResult(SessionCensus):
+    """Everything one trace replay produced (census-compatible)."""
+
+    sessions: list[SessionState]
+    summary: SetAlgebraSummary
+    stats: NetworkStats
+    latencies: list[DetectionLatency]
+    requests_replayed: int = 0
+    probes_loaded: int = 0
+    first_timestamp: float = 0.0
+    last_timestamp: float = 0.0
+    #: Trace-file and probe-journal parse accounting, kept separate so
+    #: journal corruption is never misreported as access-log damage.
+    parse_stats: ParseStats = field(default_factory=ParseStats)
+    probe_parse_stats: ParseStats = field(default_factory=ParseStats)
+
+    @property
+    def span(self) -> float:
+        """Virtual seconds between the first and last replayed request."""
+        return max(0.0, self.last_timestamp - self.first_timestamp)
+
+
+class TraceReplayEngine:
+    """Replays trace records through a proxy network in event order."""
+
+    def __init__(
+        self,
+        network: ProxyNetwork,
+        config: ReplayConfig | None = None,
+    ) -> None:
+        self._network = network
+        self._config = config or ReplayConfig()
+
+    @property
+    def network(self) -> ProxyNetwork:
+        """The network being replayed into."""
+        return self._network
+
+    def replay(
+        self,
+        *sources: TraceSource,
+        probes: ProbeSource | None = None,
+    ) -> ReplayResult:
+        """Replay one or more trace sources (paths or record iterables).
+
+        Multiple sources — e.g. one log per front-end node — are merged
+        by timestamp on the fly; each individual source must be sorted
+        when ``assume_sorted`` is set, and is sorted here otherwise.
+        """
+        if not sources:
+            raise ValueError("replay needs at least one trace source")
+        cfg = self._config
+        parse_stats = ParseStats()
+        probe_parse_stats = ParseStats()
+
+        streams = [
+            self._events(
+                self._trace_records(src, parse_stats), _REQUEST_EVENT, index
+            )
+            for index, src in enumerate(sources)
+        ]
+        if probes is not None:
+            streams.append(
+                self._events(
+                    self._probe_records(probes, probe_parse_stats),
+                    _PROBE_EVENT,
+                    len(streams),
+                )
+            )
+
+        result = ReplayResult(
+            sessions=[],
+            summary=SetAlgebraSummary(0, 0, 0, 0, 0, 0, 0, 0),
+            stats=NetworkStats(),
+            latencies=[],
+            parse_stats=parse_stats,
+            probe_parse_stats=probe_parse_stats,
+        )
+        identities: dict[tuple[str, str], tuple[str, str]] = {}
+        # Sweeps follow event time, anchored at the first event: real
+        # logs carry absolute dates (years past the virtual epoch), so
+        # counting boundaries from zero would spin through hundreds of
+        # thousands of no-op sweeps before the first request, and a
+        # single sweep at the end of a long idle gap subsumes all the
+        # boundary sweeps inside it.
+        interval = cfg.housekeeping_interval or None
+        next_sweep = None
+        first = last = None
+
+        for timestamp, priority, _stream, _seq, item in heapq.merge(*streams):
+            if interval is not None:
+                if next_sweep is None:
+                    next_sweep = timestamp + interval
+                elif timestamp >= next_sweep:
+                    self._network.housekeeping(timestamp)
+                    next_sweep = timestamp + interval
+            if priority == _PROBE_EVENT:
+                node = self._network.node_for(item.client_ip)
+                node.detection.registry.register(item.to_probe())
+                result.probes_loaded += 1
+                continue
+
+            if item.agent_kind or item.true_label:
+                identities[(item.client_ip, item.user_agent)] = (
+                    item.agent_kind,
+                    item.true_label,
+                )
+            self._network.handle(item.to_request())
+            result.requests_replayed += 1
+            if first is None:
+                first = timestamp
+            last = timestamp
+
+        sessions = self._network.finalize_sessions()
+        apply_session_identities(sessions, identities)
+
+        result.sessions = sessions
+        result.summary = self._network.session_sets().summary()
+        result.stats = self._network.stats()
+        result.latencies = self._network.detection_latencies()
+        result.first_timestamp = first or 0.0
+        result.last_timestamp = last or 0.0
+        return result
+
+    # -- stream plumbing ----------------------------------------------------
+
+    def _trace_records(
+        self, source: TraceSource, stats: ParseStats
+    ) -> Iterator[TraceRecord]:
+        cfg = self._config
+        if isinstance(source, str):
+            records: Iterable[TraceRecord] = read_trace(
+                source,
+                default_host=cfg.default_host,
+                stats=stats,
+                strict=cfg.strict,
+            )
+        else:
+            records = source
+        if cfg.assume_sorted:
+            yield from records
+        else:
+            yield from sorted(records, key=lambda r: r.timestamp)
+
+    def _probe_records(
+        self, source: ProbeSource, stats: ParseStats
+    ) -> Iterator[ProbeRecord]:
+        cfg = self._config
+        if isinstance(source, str):
+            records: Iterable[ProbeRecord] = read_probe_journal(
+                source, stats=stats, strict=cfg.strict
+            )
+        else:
+            records = source
+        if cfg.assume_sorted:
+            yield from records
+        else:
+            yield from sorted(records, key=lambda p: p.issued_at)
+
+    @staticmethod
+    def _events(records: Iterable, priority: int, stream: int):
+        """Wrap records as sortable (time, priority, stream, seq, record)
+        events; stream/seq break ties so records are never compared."""
+        for seq, record in enumerate(records):
+            time = (
+                record.timestamp
+                if priority == _REQUEST_EVENT
+                else record.issued_at
+            )
+            yield (time, priority, stream, seq, record)
+
+
+def replay_trace(
+    network: ProxyNetwork,
+    *sources: TraceSource,
+    probes: ProbeSource | None = None,
+    config: ReplayConfig | None = None,
+) -> ReplayResult:
+    """One-call replay: build the engine, merge, replay, reduce."""
+    return TraceReplayEngine(network, config).replay(*sources, probes=probes)

@@ -1,9 +1,12 @@
 """Workload generation and experiment drivers.
 
 :class:`~repro.workload.session_run.SessionRunner` drives one agent
-against a proxy handler on a virtual clock;
+against a proxy handler on a virtual clock
+(:class:`~repro.workload.session_run.SessionCursor` exposes the same
+session one fetch at a time for the interleaved scheduler);
 :class:`~repro.workload.engine.WorkloadEngine` replays a whole population
-mix through a proxy network, labelling sessions with ground truth and
+mix through a proxy network — sequentially or interleaved by global
+event time — labelling sessions with ground truth and
 running the optional CAPTCHA funnel; :mod:`repro.workload.mixes` holds the
 calibrated populations (most importantly ``CODEEN_WEEK``, the Table 1
 census); :mod:`repro.workload.codeen` and
@@ -23,7 +26,12 @@ from repro.workload.mixes import (
     SMOKE,
     mix_by_name,
 )
-from repro.workload.session_run import SessionRecord, SessionRunner
+from repro.workload.results import SessionCensus
+from repro.workload.session_run import (
+    SessionCursor,
+    SessionRecord,
+    SessionRunner,
+)
 
 __all__ = [
     "CODEEN_WEEK",
@@ -34,6 +42,8 @@ __all__ = [
     "ML_STUDY",
     "MonthlyComplaints",
     "SMOKE",
+    "SessionCensus",
+    "SessionCursor",
     "SessionRecord",
     "SessionRunner",
     "WorkloadConfig",

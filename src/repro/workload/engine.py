@@ -1,12 +1,22 @@
 """The workload engine: replay a population through a proxy network.
 
-Sessions are sampled from a mix, given start times across the experiment
-window, and driven one at a time (sessions are independent given the
-shared caches, and the tracker keys state by <IP, User-Agent>, so
-per-session results are identical to a fully interleaved replay).  After
-each session the engine attaches ground-truth labels to the tracker's
-session state — evaluation metadata the detectors never read — and runs
-the optional CAPTCHA funnel.
+Sessions are sampled from a mix and given start times by an
+:class:`~repro.trace.arrival.ArrivalProfile`.  Two driving modes:
+
+* ``"sequential"`` (the seed behaviour) runs sessions one at a time —
+  per-session results are identical to a full interleave because the
+  tracker keys state by <IP, User-Agent>, but the network never sees a
+  realistic arrival order;
+* ``"interleaved"`` coroutine-steps every live session by next-event
+  time (:class:`~repro.trace.interleave.InterleavedScheduler`), so the
+  proxy handles requests in true global timestamp order — required for
+  burst/diurnal arrival profiles and honest rate-limit behaviour.
+
+Both modes attach ground-truth labels to the tracker's session state —
+evaluation metadata the detectors never read — run the optional CAPTCHA
+funnel, and invoke :meth:`ProxyNetwork.housekeeping` periodically so
+idle-session rotation and probe-table expiry actually happen during the
+replay rather than only at the end.
 """
 
 from __future__ import annotations
@@ -17,19 +27,39 @@ from repro.agents.base import SessionBudget
 from repro.agents.population import PopulationMix
 from repro.captcha.service import CaptchaConfig, CaptchaService
 from repro.captcha.challenge import CaptchaOutcome
-from repro.detection.online import DetectionLatency
-from repro.detection.session import SessionState
-from repro.detection.set_algebra import SessionSets, SetAlgebraSummary
 from repro.ml.dataset import Dataset, SessionExample
-from repro.proxy.network import NetworkStats, ProxyNetwork
+from repro.proxy.network import ProxyNetwork
+from repro.trace.arrival import ArrivalProfile, UniformArrival
 from repro.util.rng import RngStream
 from repro.util.timeutil import WEEK
+from repro.workload.results import (
+    SessionCensus,
+    WorkloadResult,
+    apply_session_identities,
+    session_identities,
+)
 from repro.workload.session_run import SessionRecord, SessionRunner
+
+__all__ = [
+    "SessionCensus",
+    "WorkloadConfig",
+    "WorkloadEngine",
+    "WorkloadResult",
+]
+
+_MODES = ("sequential", "interleaved")
 
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """Size and options of one workload replay."""
+    """Size and options of one workload replay.
+
+    ``housekeeping_interval`` is the virtual-seconds period between
+    :meth:`ProxyNetwork.housekeeping` sweeps (0 disables them);
+    ``arrival`` shapes session start times, but non-uniform profiles only
+    make sense with ``mode="interleaved"`` — the sequential driver cannot
+    overlap sessions, so a flash crowd degenerates back into a queue.
+    """
 
     n_sessions: int = 1000
     duration: float = WEEK
@@ -37,41 +67,21 @@ class WorkloadConfig:
     captcha_enabled: bool = True
     captcha: CaptchaConfig = field(default_factory=CaptchaConfig)
     budget: SessionBudget = field(default_factory=SessionBudget)
+    mode: str = "sequential"
+    arrival: ArrivalProfile = field(default_factory=UniformArrival)
+    housekeeping_interval: float = 600.0
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
             raise ValueError("n_sessions must be >= 1")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
-
-
-@dataclass
-class WorkloadResult:
-    """Everything a workload replay produced."""
-
-    records: list[SessionRecord]
-    sessions: list[SessionState]
-    summary: SetAlgebraSummary
-    stats: NetworkStats
-    latencies: list[DetectionLatency]
-    dataset: Dataset
-    captcha: CaptchaService
-
-    @property
-    def analyzable_count(self) -> int:
-        """Sessions above the >10 request threshold."""
-        return len(self.sessions)
-
-    def sessions_of_kind(self, kind: str) -> list[SessionState]:
-        """Analyzable sessions generated by one agent family."""
-        return [s for s in self.sessions if s.agent_kind == kind]
-
-    def kind_census(self) -> dict[str, int]:
-        """Analyzable session counts per agent family."""
-        census: dict[str, int] = {}
-        for state in self.sessions:
-            census[state.agent_kind] = census.get(state.agent_kind, 0) + 1
-        return census
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.housekeeping_interval < 0:
+            raise ValueError("housekeeping_interval must be non-negative")
 
 
 class WorkloadEngine:
@@ -91,35 +101,44 @@ class WorkloadEngine:
         self._rng = rng
         self._config = config or WorkloadConfig()
 
+    @property
+    def network(self) -> ProxyNetwork:
+        """The proxy network this engine drives (tap point for recording)."""
+        return self._network
+
+    @property
+    def config(self) -> WorkloadConfig:
+        """The replay parameters."""
+        return self._config
+
     def run(self) -> WorkloadResult:
         """Replay the whole workload and reduce the results."""
         cfg = self._config
         agents = self._mix.sample_many(
             self._rng.split("population"), self._entry_url, cfg.n_sessions
         )
-        starts_rng = self._rng.split("starts")
-        starts = sorted(
-            starts_rng.uniform(0.0, cfg.duration) for _ in agents
+        starts = cfg.arrival.sample(
+            self._rng.split("starts"), len(agents), cfg.duration
         )
 
-        runner = SessionRunner(
-            self._network.handle,
-            budget=cfg.budget,
-            collect_features=cfg.collect_features,
-        )
         captcha = CaptchaService(cfg.captcha)
         captcha_rng = self._rng.split("captcha")
-
-        records: list[SessionRecord] = []
         examples: list[SessionExample] = []
-        for agent, start in zip(agents, starts):
-            record = runner.run(agent, start)
-            records.append(record)
-            self._annotate_session(record, agent, captcha, captcha_rng)
+
+        def session_done(record: SessionRecord) -> None:
+            self._annotate_session(record, captcha, captcha_rng)
             if record.example is not None:
                 examples.append(record.example)
 
+        if cfg.mode == "interleaved":
+            records = self._run_interleaved(agents, starts, session_done)
+        else:
+            records = self._run_sequential(agents, starts, session_done)
+
         sessions = self._network.finalize_sessions()
+        # Backfill sessions that idle-rotated before their live
+        # annotation pass could label them.
+        apply_session_identities(sessions, session_identities(records))
         summary = self._network.session_sets().summary()
         return WorkloadResult(
             records=records,
@@ -131,14 +150,70 @@ class WorkloadEngine:
             captcha=captcha,
         )
 
+    # -- driving modes ------------------------------------------------------
+
+    def _run_sequential(
+        self, agents, starts, session_done
+    ) -> list[SessionRecord]:
+        cfg = self._config
+        runner = SessionRunner(
+            self._network.handle,
+            budget=cfg.budget,
+            collect_features=cfg.collect_features,
+        )
+        records: list[SessionRecord] = []
+        # Session end times are not monotone (an early long session can
+        # outlive many later ones), so sweeps key off the furthest point
+        # the virtual clock has reached — a raw ended_at comparison
+        # would let one long session starve housekeeping for the rest
+        # of the run.
+        last_sweep = 0.0
+        clock = 0.0
+        for agent, start in zip(agents, starts):
+            record = runner.run(agent, start)
+            records.append(record)
+            session_done(record)
+            clock = max(clock, record.ended_at)
+            if (
+                cfg.housekeeping_interval
+                and clock - last_sweep >= cfg.housekeeping_interval
+            ):
+                self._network.housekeeping(clock)
+                last_sweep = clock
+        return records
+
+    def _run_interleaved(
+        self, agents, starts, session_done
+    ) -> list[SessionRecord]:
+        # Imported here: repro.trace.interleave drives sessions via
+        # repro.workload.session_run, so a module-level import would be
+        # circular through the two packages' __init__ modules.
+        from repro.trace.interleave import InterleavedScheduler
+
+        cfg = self._config
+        scheduler = InterleavedScheduler(
+            self._network.handle,
+            budget=cfg.budget,
+            collect_features=cfg.collect_features,
+            housekeeping=self._network.housekeeping,
+            housekeeping_interval=cfg.housekeeping_interval,
+        )
+        return scheduler.run(agents, starts, on_session_end=session_done)
+
+    # -- annotation ---------------------------------------------------------
+
     def _annotate_session(
         self,
         record: SessionRecord,
-        agent,
         captcha: CaptchaService,
         captcha_rng: RngStream,
     ) -> None:
-        """Attach ground truth and run the CAPTCHA funnel for one session."""
+        """Attach ground truth and run the CAPTCHA funnel for one session.
+
+        Runs the moment a session ends — its tracker state is still live
+        then, in either driving mode.  The CAPTCHA stream is split per
+        client IP, so outcomes are independent of session ordering.
+        """
         node = self._network.node_for(record.client_ip)
         state = node.detection.tracker.get(
             record.client_ip, record.user_agent

@@ -44,6 +44,49 @@ class TestCli:
         assert "Robot" in out
 
 
+class TestTraceCommands:
+    def test_record_then_replay_round_trip(self, capsys, tmp_path):
+        trace = str(tmp_path / "t.log.gz")
+        probes = str(tmp_path / "t.keys.gz")
+        assert main([
+            "record", "--out", trace, "--probes", probes,
+            "--mix", "smoke", "--sessions", "40", "--seed", "61",
+            "--nodes", "2",
+        ]) == 0
+        recorded = capsys.readouterr().out
+        assert "analyzable sessions:" in recorded
+
+        assert main([
+            "replay", "--trace", trace, "--probes", probes,
+            "--nodes", "2", "--sorted",
+        ]) == 0
+        replayed = capsys.readouterr().out
+        assert "0 malformed lines skipped" in replayed
+        # The replayed census reproduces the recorded census verbatim.
+        census = lambda text: sorted(
+            line.strip() for line in text.splitlines()
+            if line.startswith("  ") and not line.startswith("  malformed")
+        )
+        assert census(replayed) == census(recorded.split("sessions:")[-1])
+
+    def test_record_parser_defaults(self):
+        from repro.cli import build_record_parser
+
+        args = build_record_parser().parse_args(["--out", "x.log"])
+        assert args.mix == "codeen_week"
+        assert args.mode == "sequential"
+        assert args.arrival == "uniform"
+
+    def test_replay_parser_merges_multiple_traces(self):
+        from repro.cli import build_replay_parser
+
+        args = build_replay_parser().parse_args(
+            ["--trace", "a.log", "b.log", "--strict"]
+        )
+        assert args.trace == ["a.log", "b.log"]
+        assert args.strict
+
+
 class TestReport:
     def test_subset_report(self):
         report = generate_report(

@@ -1,0 +1,230 @@
+"""Interleaved scheduling and arrival profiles.
+
+The key regression: for the default uniform arrival profile, interleaved
+mode must produce per-session results identical to sequential mode —
+per-session state is cursor-owned, and shared network state is keyed so
+reordering cannot leak between sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.arrival import (
+    BurstArrival,
+    DiurnalArrival,
+    UniformArrival,
+    profile_by_name,
+)
+from repro.trace.interleave import InterleavedScheduler
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY, WEEK
+from repro.workload.engine import WorkloadConfig, WorkloadEngine
+from repro.workload.mixes import CODEEN_WEEK, SMOKE
+
+
+def run_mode(make_network, entry_url, mode, seed=21, n=60, **config_kwargs):
+    network = make_network(n_nodes=2, seed=seed)
+    engine = WorkloadEngine(
+        network,
+        CODEEN_WEEK,
+        entry_url,
+        RngStream(seed, "wl"),
+        WorkloadConfig(n_sessions=n, mode=mode, **config_kwargs),
+    )
+    return engine.run()
+
+
+def per_session_view(result):
+    """Order-independent per-session evidence, excluding byte counters.
+
+    Byte counts are excluded deliberately: instrumentation key material
+    is drawn per served page in network arrival order, so the obfuscated
+    beacon markup can differ in *length* between modes even though every
+    probe and fetch is structurally identical.
+    """
+    return sorted(
+        (
+            s.key.client_ip,
+            s.key.user_agent,
+            s.request_count,
+            s.agent_kind,
+            s.true_label,
+            s.in_css_set,
+            s.in_js_set,
+            s.in_mouse_set,
+            s.followed_hidden_link,
+            s.ua_mismatched,
+            s.passed_captcha,
+            s.wrong_key_fetches,
+        )
+        for s in result.sessions
+    )
+
+
+class TestModeEquivalence:
+    def test_uniform_interleaved_matches_sequential(
+        self, make_network, entry_url
+    ):
+        sequential = run_mode(make_network, entry_url, "sequential")
+        interleaved = run_mode(make_network, entry_url, "interleaved")
+        assert per_session_view(sequential) == per_session_view(interleaved)
+        assert sequential.summary == interleaved.summary
+        assert sequential.kind_census() == interleaved.kind_census()
+
+    def test_session_records_match(self, make_network, entry_url):
+        sequential = run_mode(make_network, entry_url, "sequential", n=40)
+        interleaved = run_mode(make_network, entry_url, "interleaved", n=40)
+        a = [(r.client_ip, r.requests, r.started_at, r.ended_at)
+             for r in sequential.records]
+        b = [(r.client_ip, r.requests, r.started_at, r.ended_at)
+             for r in interleaved.records]
+        assert a == b
+
+    def test_captcha_outcomes_mode_independent(
+        self, make_network, entry_url
+    ):
+        sequential = run_mode(
+            make_network, entry_url, "sequential", captcha_enabled=True
+        )
+        interleaved = run_mode(
+            make_network, entry_url, "interleaved", captcha_enabled=True
+        )
+        assert (
+            sequential.summary.captcha_passes
+            == interleaved.summary.captcha_passes
+        )
+
+    def test_feature_datasets_match(self, make_network, entry_url):
+        sequential = run_mode(
+            make_network, entry_url, "sequential", n=20,
+            collect_features=True,
+        )
+        interleaved = run_mode(
+            make_network, entry_url, "interleaved", n=20,
+            collect_features=True,
+        )
+        ids = lambda result: sorted(
+            (e.session_id, e.request_count) for e in result.dataset.examples
+        )
+        assert ids(sequential) == ids(interleaved)
+
+    def test_requests_arrive_in_timestamp_order(
+        self, make_network, entry_url
+    ):
+        network = make_network(n_nodes=2, seed=9)
+        seen: list[float] = []
+        network.add_tap(lambda req, resp: seen.append(req.timestamp))
+        engine = WorkloadEngine(
+            network,
+            SMOKE,
+            entry_url,
+            RngStream(9, "wl"),
+            WorkloadConfig(n_sessions=30, mode="interleaved"),
+        )
+        engine.run()
+        assert seen == sorted(seen)
+        # The sequential engine cannot make this guarantee: sessions
+        # overlap in virtual time but run back to back.
+
+    def test_housekeeping_runs_during_replay(self, make_network, entry_url):
+        network = make_network(n_nodes=2, seed=9)
+        calls: list[float] = []
+        original = network.housekeeping
+        network.housekeeping = lambda now: (
+            calls.append(now), original(now))[-1]
+        engine = WorkloadEngine(
+            network,
+            SMOKE,
+            entry_url,
+            RngStream(9, "wl"),
+            WorkloadConfig(
+                n_sessions=30, mode="interleaved",
+                housekeeping_interval=3600.0,
+            ),
+        )
+        engine.run()
+        assert calls, "housekeeping never ran during the replay"
+        assert calls == sorted(calls)
+
+    def test_housekeeping_runs_in_sequential_mode(
+        self, make_network, entry_url
+    ):
+        network = make_network(n_nodes=2, seed=9)
+        calls: list[float] = []
+        original = network.housekeeping
+        network.housekeeping = lambda now: (
+            calls.append(now), original(now))[-1]
+        engine = WorkloadEngine(
+            network,
+            SMOKE,
+            entry_url,
+            RngStream(9, "wl"),
+            WorkloadConfig(n_sessions=30, housekeeping_interval=3600.0),
+        )
+        engine.run()
+        assert calls, "housekeeping never ran during the replay"
+
+
+class TestScheduler:
+    def test_empty_population(self):
+        scheduler = InterleavedScheduler(lambda request: None)
+        assert scheduler.run([], []) == []
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            InterleavedScheduler(
+                lambda request: None, housekeeping_interval=-1.0
+            )
+
+
+class TestArrivalProfiles:
+    def test_uniform_matches_seed_sampling(self):
+        # The profile must reproduce the seed engine's draws exactly so
+        # default workloads keep their start times across versions.
+        rng_a = RngStream(5, "starts")
+        rng_b = RngStream(5, "starts")
+        expected = sorted(rng_a.uniform(0.0, WEEK) for _ in range(50))
+        assert UniformArrival().sample(rng_b, 50, WEEK) == expected
+
+    def test_samples_sorted_and_in_range(self):
+        for profile in (UniformArrival(), DiurnalArrival(), BurstArrival()):
+            starts = profile.sample(RngStream(3, "starts"), 200, WEEK)
+            assert len(starts) == 200
+            assert starts == sorted(starts)
+            assert all(0.0 <= s < WEEK for s in starts)
+
+    def test_burst_concentrates_mass(self):
+        profile = BurstArrival(
+            burst_share=0.6, burst_start=0.4, burst_width=0.02
+        )
+        starts = profile.sample(RngStream(3, "starts"), 2000, WEEK)
+        window = [s for s in starts
+                  if 0.4 * WEEK <= s <= 0.42 * WEEK]
+        # ~60% burst + ~2% background, against 2% for uniform.
+        assert len(window) > 0.5 * len(starts)
+
+    def test_diurnal_peak_beats_trough(self):
+        profile = DiurnalArrival(period=DAY, peak_ratio=6.0, peak_at=0.5)
+        starts = profile.sample(RngStream(3, "starts"), 4000, DAY)
+        peak = sum(1 for s in starts if 0.4 * DAY <= s < 0.6 * DAY)
+        trough = sum(1 for s in starts if s < 0.1 * DAY or s >= 0.9 * DAY)
+        assert peak > 2 * trough
+
+    def test_profile_by_name(self):
+        assert isinstance(profile_by_name("uniform"), UniformArrival)
+        assert isinstance(
+            profile_by_name("diurnal", peak_ratio=2.0), DiurnalArrival
+        )
+        with pytest.raises(KeyError):
+            profile_by_name("tsunami")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiurnalArrival(peak_ratio=0.5)
+        with pytest.raises(ValueError):
+            BurstArrival(burst_share=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mode="parallel")
+        with pytest.raises(ValueError):
+            WorkloadConfig(housekeeping_interval=-5.0)
