@@ -29,6 +29,7 @@ from repro.detection import (
     SessionSets,
     SessionState,
     SessionTracker,
+    ShardedDetectionService,
     Verdict,
 )
 from repro.instrument import (
@@ -39,6 +40,7 @@ from repro.instrument import (
 from repro.ml import (
     ATTRIBUTE_NAMES,
     AdaBoostClassifier,
+    BatchScorer,
     FeatureAccumulator,
 )
 from repro.proxy import ProxyNetwork, ProxyNode
@@ -64,11 +66,12 @@ from repro.workload import (
 )
 from repro.workload.codeen import CodeenWeekConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ATTRIBUTE_NAMES",
     "AdaBoostClassifier",
+    "BatchScorer",
     "BurstArrival",
     "CODEEN_WEEK",
     "CodeenWeekConfig",
@@ -88,6 +91,7 @@ __all__ = [
     "SessionSets",
     "SessionState",
     "SessionTracker",
+    "ShardedDetectionService",
     "SiteConfig",
     "SiteGenerator",
     "TraceRecord",

@@ -9,8 +9,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.experiments.registry import EXPERIMENTS
-
 
 @dataclass
 class ReportSection:
@@ -57,6 +55,12 @@ def generate_report(
     ML-backed experiments share one dataset, so the report costs roughly
     one CoDeeN-week replay plus one ML-study replay.
     """
+    # Imported here: repro.experiments.registry imports the experiment
+    # modules, which import repro.analysis for rendering — a module-level
+    # import would make this package's initialization order-dependent
+    # (repro.experiments first works, repro.analysis first breaks).
+    from repro.experiments.registry import EXPERIMENTS
+
     report = EvaluationReport()
     for name in experiments:
         runner = EXPERIMENTS.get(name)

@@ -106,6 +106,11 @@ def build_record_parser() -> argparse.ArgumentParser:
         default="uniform",
         help="session arrival profile (non-uniform needs --mode interleaved)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="hash-partition detection state into N shards per node "
+             "(0 = unsharded; shard count never changes results)",
+    )
     return parser
 
 
@@ -143,6 +148,11 @@ def build_replay_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strict", action="store_true",
         help="abort on the first malformed line instead of skipping",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="hash-partition detection state into N shards per node "
+             "(0 = unsharded; shard count never changes results)",
     )
     return parser
 
@@ -185,6 +195,7 @@ def run_record(argv: list[str]) -> int:
             captcha_enabled=False,
             mode=args.mode,
             arrival=profile_by_name(args.arrival),
+            shards=args.shards,
         ),
     )
     result, recorder = record_workload(engine, args.out, args.probes)
@@ -220,6 +231,7 @@ def run_replay(argv: list[str]) -> int:
             assume_sorted=args.assume_sorted,
             default_host=args.default_host,
             strict=args.strict,
+            shards=args.shards,
         ),
     )
     from repro.trace.clf import TraceParseError

@@ -64,10 +64,13 @@ class DetectionService:
         online_config: OnlineConfig | None = None,
         policy_config: PolicyConfig | None = None,
         enforce_policy: bool = True,
+        session_id_prefix: str = "sess",
     ) -> None:
         self._registry = registry
         self.tracker = SessionTracker(
-            idle_timeout=idle_timeout, min_requests=min_requests
+            idle_timeout=idle_timeout,
+            min_requests=min_requests,
+            id_prefix=session_id_prefix,
         )
         self._human_activity = HumanActivityDetector()
         self._browser_test = BrowserTestDetector()
@@ -82,6 +85,11 @@ class DetectionService:
     def registry(self) -> InstrumentationRegistry:
         """The shared probe table."""
         return self._registry
+
+    @property
+    def enforce_policy(self) -> bool:
+        """Whether the robot policy is consulted per request."""
+        return self._enforce_policy
 
     def handle_request(self, request: Request) -> RequestOutcome:
         """Run the pipeline for one request (response not yet known)."""

@@ -27,6 +27,7 @@ class SessionTracker:
         min_requests: int = 10,
         sink: SessionSink | None = None,
         keep_completed: bool = True,
+        id_prefix: str = "sess",
     ) -> None:
         if idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive")
@@ -37,7 +38,7 @@ class SessionTracker:
         self._sink = sink
         self._keep_completed = keep_completed
         self._live: dict[SessionKey, SessionState] = {}
-        self._ids = IdGenerator("sess")
+        self._ids = IdGenerator(id_prefix)
         self.completed: list[SessionState] = []
         self._total_started = 0
 

@@ -9,7 +9,8 @@ per-attribute contribution analysis (the paper's "most contributing
 attributes") exact rather than estimated.
 """
 
-from repro.ml.adaboost import AdaBoostClassifier, AdaBoostModel
+from repro.ml.adaboost import AdaBoostClassifier, AdaBoostModel, PackedEnsemble
+from repro.ml.batch import BatchScorer, BatchVerdict
 from repro.ml.dataset import Dataset, SessionExample, build_matrix
 from repro.ml.evaluate import (
     EvaluationResult,
@@ -29,7 +30,10 @@ __all__ = [
     "ATTRIBUTE_NAMES",
     "AdaBoostClassifier",
     "AdaBoostModel",
+    "BatchScorer",
+    "BatchVerdict",
     "Dataset",
+    "PackedEnsemble",
     "DecisionStump",
     "EvaluationResult",
     "FeatureAccumulator",

@@ -6,6 +6,29 @@ vote ``alpha = ½ ln((1−ε)/ε)``, and re-weights samples toward the
 mistakes.  The feature-column argsorts are computed once and reused by
 every round, so 200 rounds over tens of thousands of sessions train in
 well under a second.
+
+Scoring is matrix-at-a-time: the ensemble compiles itself into packed
+arrays so a 200-round model scores an (n, d) matrix in a few vectorized
+passes instead of 200 per-stump Python iterations.  A stump votes
+``polarity`` when ``x[feature] > threshold`` and ``-polarity``
+otherwise, so with ``v_t = alpha_t * polarity_t``::
+
+    margin = Σ_t v_t · (2·[x_ft > θ_t] − 1) = 2·Σ_{t: θ_t < x_ft} v_t − Σ_t v_t
+
+The compiled form groups stumps by feature, sorts each group's
+thresholds, and prefix-sums its votes, so ``Σ_{θ < x} v`` is one lookup
+per sample per feature.  The lookup itself is a uniform grid over the
+threshold range: every grid bucket that contains no threshold ("clean")
+stores the exact prefix vote outright, and only samples landing in the
+few buckets that do contain a threshold fall back to a ``searchsorted``
+over that feature's thresholds.  The bucket map is monotone and is
+applied identically to thresholds at compile time and samples at score
+time, so the result is bit-exact with the stump-by-stump definition
+while costing O(d · n) array work with no (n, rounds) intermediate —
+an order of magnitude faster than the per-stump loop on a 10k × 200
+workload.  :meth:`AdaBoostModel.score_loop` keeps the per-stump
+reference path for equivalence tests and the before/after throughput
+benchmark.
 """
 
 from __future__ import annotations
@@ -18,6 +41,112 @@ from repro.ml.stump import DecisionStump, train_stump
 
 _EPS = 1e-12
 
+#: Grid resolution of the compiled per-feature lookup.  200 rounds over
+#: 12 attributes put ~17 thresholds in a feature's grid, so typically
+#: ≤ 2% of buckets are "dirty" (contain a threshold) and the
+#: searchsorted fallback touches almost no samples.
+_GRID_BUCKETS = 1024
+
+
+@dataclass(frozen=True)
+class FeatureTable:
+    """One feature's compiled threshold structure.
+
+    ``vote_prefix[k]`` is the summed vote of the ``k``
+    smallest-threshold stumps on this feature (leading 0), so
+    ``vote_prefix[searchsorted(thresholds, x, side="left")]`` is exactly
+    ``Σ_{θ < x} v`` — ``side="left"`` keeps the stump comparison strict
+    (``x > θ``; a tie votes negative).  The grid arrays cache that
+    lookup per uniform bucket: ``grid_prefix[b]`` is the prefix vote for
+    any sample in bucket ``b``, valid whenever ``grid_dirty[b]`` is
+    False (no threshold maps into the bucket).  The bucket map — clip
+    then truncate — is monotone and is applied identically to
+    thresholds here and to samples in :meth:`AdaBoostModel.score`, so a
+    clean-bucket hit is bit-exact.
+    """
+
+    feature: int
+    thresholds: np.ndarray   #: (k,) float64, sorted
+    vote_prefix: np.ndarray  #: (k + 1,) float64, leading 0
+    grid_lo: float
+    grid_scale: float
+    grid_dirty: np.ndarray   #: (_GRID_BUCKETS,) bool
+    grid_prefix: np.ndarray  #: (_GRID_BUCKETS,) float64
+
+    def buckets(self, values: np.ndarray) -> np.ndarray:
+        """Map sample values onto grid bucket indices (monotone)."""
+        scaled = (values - self.grid_lo) * self.grid_scale
+        np.clip(scaled, 0.0, _GRID_BUCKETS - 1, out=scaled)
+        return scaled.astype(np.int64)
+
+    def prefix_votes(self, values: np.ndarray) -> np.ndarray:
+        """``Σ_{θ < value} v`` for every value, via the grid."""
+        buckets = self.buckets(values)
+        votes = self.grid_prefix[buckets]
+        dirty = np.flatnonzero(self.grid_dirty[buckets])
+        if dirty.size:
+            votes[dirty] = self.vote_prefix[
+                np.searchsorted(
+                    self.thresholds, values[dirty], side="left"
+                )
+            ]
+        return votes
+
+
+def _compile_feature(
+    feature: int, thresholds: np.ndarray, votes: np.ndarray
+) -> FeatureTable:
+    """Build one feature's sorted-prefix + grid lookup tables.
+
+    ``thresholds`` must already be sorted with ``votes`` in matching
+    order.  A degenerate threshold range (all equal) gets scale 0, which
+    maps every sample to bucket 0 — dirty by construction — so scoring
+    transparently degrades to pure searchsorted rather than misreading
+    the grid.
+    """
+    vote_prefix = np.concatenate(([0.0], np.cumsum(votes)))
+    lo = float(thresholds[0])
+    span = float(thresholds[-1]) - lo
+    scale = _GRID_BUCKETS / span if span > 0.0 else 0.0
+    scaled = (thresholds - lo) * scale
+    np.clip(scaled, 0.0, _GRID_BUCKETS - 1, out=scaled)
+    threshold_buckets = scaled.astype(np.int64)
+    grid_dirty = np.zeros(_GRID_BUCKETS, dtype=bool)
+    grid_dirty[threshold_buckets] = True
+    # grid_prefix[b] = summed vote of thresholds in buckets < b; exact
+    # for clean buckets because the bucket map is monotone.
+    per_bucket = np.bincount(threshold_buckets, minlength=_GRID_BUCKETS)
+    below_counts = np.concatenate(([0], np.cumsum(per_bucket)))[
+        :_GRID_BUCKETS
+    ]
+    return FeatureTable(
+        feature=feature,
+        thresholds=thresholds,
+        vote_prefix=vote_prefix,
+        grid_lo=lo,
+        grid_scale=scale,
+        grid_dirty=grid_dirty,
+        grid_prefix=vote_prefix[below_counts],
+    )
+
+
+@dataclass(frozen=True)
+class PackedEnsemble:
+    """An ensemble compiled to parallel arrays for vectorized scoring."""
+
+    features: np.ndarray    #: (rounds,) intp — stump feature indices
+    thresholds: np.ndarray  #: (rounds,) float64 — stump thresholds
+    polarities: np.ndarray  #: (rounds,) float64 — ±1 stump polarities
+    alphas: np.ndarray      #: (rounds,) float64 — boosting votes
+    votes: np.ndarray       #: (rounds,) float64 — alpha * polarity
+    vote_sum: float         #: Σ alpha * polarity
+    groups: tuple[FeatureTable, ...]
+
+    @property
+    def rounds(self) -> int:
+        """Number of boosting rounds in the compiled ensemble."""
+        return self.features.shape[0]
+
 
 @dataclass
 class AdaBoostModel:
@@ -26,13 +155,75 @@ class AdaBoostModel:
     stumps: list[DecisionStump] = field(default_factory=list)
     alphas: list[float] = field(default_factory=list)
     n_features: int = 0
+    _packed: PackedEnsemble | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
-    def score(self, x: np.ndarray) -> np.ndarray:
-        """Real-valued margin: positive means human (+1)."""
+    def compile(self) -> PackedEnsemble:
+        """The packed-array form of the ensemble (cached per round count).
+
+        The cache keys off ``len(stumps)``, which covers the one
+        mutation pattern in this codebase — :meth:`AdaBoostClassifier.fit`
+        appending rounds — without hashing stump contents.
+        """
+        packed = self._packed
+        if packed is not None and packed.rounds == len(self.stumps):
+            return packed
+        alphas = np.asarray(self.alphas, dtype=np.float64)
+        polarities = np.array(
+            [stump.polarity for stump in self.stumps], dtype=np.float64
+        )
+        votes = alphas * polarities
+        features = np.array(
+            [stump.feature for stump in self.stumps], dtype=np.intp
+        )
+        thresholds = np.array(
+            [stump.threshold for stump in self.stumps], dtype=np.float64
+        )
+        groups = []
+        for feature in np.unique(features):
+            mask = features == feature
+            order = np.argsort(thresholds[mask], kind="stable")
+            groups.append(
+                _compile_feature(
+                    int(feature),
+                    thresholds[mask][order],
+                    votes[mask][order],
+                )
+            )
+        packed = PackedEnsemble(
+            features=features,
+            thresholds=thresholds,
+            polarities=polarities,
+            alphas=alphas,
+            votes=votes,
+            vote_sum=float(votes.sum()),
+            groups=tuple(groups),
+        )
+        self._packed = packed
+        return packed
+
+    def _validate(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.n_features:
             raise ValueError(
                 f"expected (n, {self.n_features}) matrix, got {x.shape}"
             )
+        return x
+
+    def score(self, x: np.ndarray) -> np.ndarray:
+        """Real-valued margin: positive means human (+1)."""
+        self._validate(x)
+        packed = self.compile()
+        if packed.rounds == 0:
+            return np.zeros(x.shape[0])
+        below_votes = np.zeros(x.shape[0])
+        for table in packed.groups:
+            below_votes += table.prefix_votes(x[:, table.feature])
+        return 2.0 * below_votes - packed.vote_sum
+
+    def score_loop(self, x: np.ndarray) -> np.ndarray:
+        """Per-stump reference scorer (the pre-vectorization path)."""
+        self._validate(x)
         total = np.zeros(x.shape[0])
         for stump, alpha in zip(self.stumps, self.alphas):
             total += alpha * stump.predict(x)
@@ -45,12 +236,13 @@ class AdaBoostModel:
 
     def staged_scores(self, x: np.ndarray) -> np.ndarray:
         """(rounds, n) margins after each boosting round."""
-        out = np.zeros((len(self.stumps), x.shape[0]))
-        running = np.zeros(x.shape[0])
-        for t, (stump, alpha) in enumerate(zip(self.stumps, self.alphas)):
-            running = running + alpha * stump.predict(x)
-            out[t] = running
-        return out
+        self._validate(x)
+        packed = self.compile()
+        if packed.rounds == 0:
+            return np.zeros((0, x.shape[0]))
+        above = x[:, packed.features] > packed.thresholds
+        contributions = np.where(above, packed.votes, -packed.votes)
+        return np.cumsum(contributions, axis=1).T
 
     @property
     def rounds(self) -> int:

@@ -17,12 +17,19 @@ from repro.http.message import Method, Request, Response
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters."""
+    """Hit/miss counters.
+
+    ``evictions`` counts capacity-driven LRU drops; ``expired`` counts
+    TTL-driven removals (lazy, on lookup, or swept by housekeeping) —
+    kept separate so a mis-sized cache and a mis-set TTL are
+    distinguishable in reports.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    expired: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -55,14 +62,22 @@ class ProxyCache:
         return (request.url.host, request.url.path, request.url.query)
 
     def lookup(self, request: Request, now: float) -> Response | None:
-        """Return a cached response for the request, if fresh."""
+        """Return a cached response for the request, if fresh.
+
+        Every lookup that is not served from cache counts as a miss —
+        including non-GET requests, which can never be cached but are
+        still lookups; skipping them (the old behaviour) overstated
+        ``hit_rate`` on POST-heavy workloads.
+        """
         if request.method is not Method.GET:
+            self.stats.misses += 1
             return None
         key = self._key(request)
         entry = self._entries.get(key)
         if entry is None or now - entry.stored_at > self._ttl:
             if entry is not None:
                 del self._entries[key]
+                self.stats.expired += 1
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -87,6 +102,23 @@ class ProxyCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return True
+
+    def sweep(self, now: float) -> int:
+        """Drop every expired entry; returns how many were removed.
+
+        Run from proxy housekeeping so entries that are never looked up
+        again do not linger for the life of the node — lazy expiry alone
+        only reclaims keys that stay popular enough to be re-requested.
+        """
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.stored_at > self._ttl
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.expired += len(stale)
+        return len(stale)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -77,6 +77,7 @@ class ProxyNetwork:
         instrument_config: InstrumentConfig | None = None,
         rate_limit: RateLimitConfig | None = None,
         instrument_enabled: bool = True,
+        detection_shards: int = 0,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
@@ -88,10 +89,26 @@ class ProxyNetwork:
                 instrument_config=instrument_config,
                 rate_limit=rate_limit,
                 instrument_enabled=instrument_enabled,
+                detection_shards=detection_shards,
             )
             for i in range(n_nodes)
         ]
         self._taps: list[Callable[[Request, Response], None]] = []
+
+    def shard_detection(
+        self, n_shards: int, max_workers: int | None = None
+    ) -> None:
+        """Re-partition every node's detection state into ``n_shards``.
+
+        Must run before traffic; idempotent per shard count.
+        """
+        for node in self.nodes:
+            node.shard_detection(n_shards, max_workers=max_workers)
+
+    def close_detection(self) -> None:
+        """Release every node's detection executor threads, if any."""
+        for node in self.nodes:
+            node.close_detection()
 
     def add_tap(self, tap: Callable[[Request, Response], None]) -> None:
         """Observe every request/response pair :meth:`handle` processes.

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.detection.service import DetectionService, RequestOutcome
+from repro.detection.sharded import ShardedDetectionService, shard_service
 from repro.http.content import ContentKind
 from repro.http.headers import Headers
 from repro.http.message import Request, Response, error_response
@@ -77,12 +78,25 @@ class ProxyNode:
         rng: RngStream,
         instrument_config: InstrumentConfig | None = None,
         rate_limit: RateLimitConfig | None = None,
-        detection: DetectionService | None = None,
+        detection: DetectionService | ShardedDetectionService | None = None,
         instrument_enabled: bool = True,
+        detection_shards: int = 0,
     ) -> None:
+        if detection is not None and detection_shards:
+            raise ValueError(
+                "pass either a detection service or detection_shards, "
+                "not both"
+            )
         self.node_id = node_id
         self._origins = origins
-        self.detection = detection or DetectionService(InstrumentationRegistry())
+        if detection is not None:
+            self.detection = detection
+        elif detection_shards:
+            self.detection = ShardedDetectionService(
+                InstrumentationRegistry(), n_shards=detection_shards
+            )
+        else:
+            self.detection = DetectionService(InstrumentationRegistry())
         self.instrumenter = PageInstrumenter(
             self.detection.registry,
             rng.split(f"instrumenter-{node_id}"),
@@ -169,7 +183,50 @@ class ProxyNode:
         if beacon:
             self.stats.beacon_bytes_served += response.size
 
+    def shard_detection(
+        self, n_shards: int, max_workers: int | None = None
+    ) -> None:
+        """Re-partition detection state into ``n_shards`` shards.
+
+        Must run before any traffic: session state cannot be re-hashed
+        between shard layouts.  The probe registry (and with it any
+        registrations a replay journal already loaded) is preserved.
+        No-op when the node is already sharded to the requested count.
+        """
+        if (
+            isinstance(self.detection, ShardedDetectionService)
+            and self.detection.n_shards == n_shards
+            and (
+                max_workers is None
+                or self.detection.max_workers == max_workers
+            )
+        ):
+            return
+        if self.stats.requests or self.detection.tracker.total_started:
+            raise RuntimeError(
+                f"{self.node_id}: cannot re-shard detection after traffic"
+            )
+        previous = self.detection
+        self.detection = shard_service(
+            previous, n_shards, max_workers=max_workers
+        )
+        if isinstance(previous, ShardedDetectionService):
+            previous.close()
+
+    def close_detection(self) -> None:
+        """Release detection-side resources (shard executor threads).
+
+        Safe to call at any time: a later shard-parallel operation
+        lazily recreates the executor it needs.
+        """
+        if isinstance(self.detection, ShardedDetectionService):
+            self.detection.close()
+
     def housekeeping(self, now: float) -> None:
-        """Periodic maintenance: expire idle sessions and stale probes."""
+        """Periodic maintenance: expire idle sessions, stale probes,
+        expired cache entries and fully replenished rate-limit buckets."""
         self.detection.tracker.expire_idle(now)
         self.detection.registry.expire_before(now)
+        self.cache.sweep(now)
+        if self.limiter is not None:
+            self.limiter.evict_replenished(now)

@@ -50,16 +50,26 @@ class ReplayConfig:
     ``assume_sorted`` skips the per-source sort for logs already in
     timestamp order (the recorder writes sorted files; real access logs
     usually are too) — required for constant-memory streaming.
+    ``shards`` > 0 hash-partitions each node's detection state into that
+    many shards before the first event (0 keeps the network as built);
+    ``shard_workers`` sizes the optional executor behind the shards'
+    batch and housekeeping paths.
     """
 
     housekeeping_interval: float = 600.0
     assume_sorted: bool = False
     default_host: str | None = None
     strict: bool = False
+    shards: int = 0
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.housekeeping_interval < 0:
             raise ValueError("housekeeping_interval must be non-negative")
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1 when given")
 
 
 @dataclass
@@ -114,6 +124,24 @@ class TraceReplayEngine:
         """
         if not sources:
             raise ValueError("replay needs at least one trace source")
+        cfg = self._config
+        if cfg.shards:
+            self._network.shard_detection(
+                cfg.shards, max_workers=cfg.shard_workers
+            )
+        try:
+            return self._replay(*sources, probes=probes)
+        finally:
+            # Release shard-executor threads the replay may have
+            # spawned; lazily recreated if the network is reused.
+            if cfg.shard_workers:
+                self._network.close_detection()
+
+    def _replay(
+        self,
+        *sources: TraceSource,
+        probes: ProbeSource | None = None,
+    ) -> ReplayResult:
         cfg = self._config
         parse_stats = ParseStats()
         probe_parse_stats = ParseStats()

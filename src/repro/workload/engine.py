@@ -59,6 +59,9 @@ class WorkloadConfig:
     ``arrival`` shapes session start times, but non-uniform profiles only
     make sense with ``mode="interleaved"`` — the sequential driver cannot
     overlap sessions, so a flash crowd degenerates back into a queue.
+    ``shards`` > 0 hash-partitions each node's detection state into that
+    many shards before traffic starts (0 keeps the network as built);
+    shard count never changes results, only the scaling architecture.
     """
 
     n_sessions: int = 1000
@@ -70,6 +73,8 @@ class WorkloadConfig:
     mode: str = "sequential"
     arrival: ArrivalProfile = field(default_factory=UniformArrival)
     housekeeping_interval: float = 600.0
+    shards: int = 0
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
@@ -82,6 +87,10 @@ class WorkloadConfig:
             )
         if self.housekeeping_interval < 0:
             raise ValueError("housekeeping_interval must be non-negative")
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1 when given")
 
 
 class WorkloadEngine:
@@ -113,6 +122,20 @@ class WorkloadEngine:
 
     def run(self) -> WorkloadResult:
         """Replay the whole workload and reduce the results."""
+        cfg = self._config
+        if cfg.shards:
+            self._network.shard_detection(
+                cfg.shards, max_workers=cfg.shard_workers
+            )
+        try:
+            return self._run()
+        finally:
+            # Release shard-executor threads the run may have spawned;
+            # lazily recreated if the caller keeps using the network.
+            if cfg.shard_workers:
+                self._network.close_detection()
+
+    def _run(self) -> WorkloadResult:
         cfg = self._config
         agents = self._mix.sample_many(
             self._rng.split("population"), self._entry_url, cfg.n_sessions

@@ -1,0 +1,194 @@
+"""Tests for vectorized AdaBoost scoring and repro.ml.batch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostClassifier, AdaBoostModel
+from repro.ml.batch import BatchScorer, BatchVerdict
+from repro.ml.stump import DecisionStump
+
+
+def _synthetic_model(
+    rounds: int = 50, n_features: int = 12, seed: int = 7
+) -> AdaBoostModel:
+    rng = np.random.default_rng(seed)
+    model = AdaBoostModel(n_features=n_features)
+    for _ in range(rounds):
+        model.stumps.append(
+            DecisionStump(
+                feature=int(rng.integers(n_features)),
+                threshold=float(rng.uniform(0, 100)),
+                polarity=int(rng.choice((-1, 1))),
+            )
+        )
+        model.alphas.append(float(rng.uniform(0.05, 1.5)))
+    return model
+
+
+def _trained_model(seed: int = 3) -> tuple[AdaBoostModel, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 100, size=(300, 12))
+    y = np.where(x[:, 0] + 0.5 * x[:, 3] > 80.0, 1.0, -1.0)
+    if len(np.unique(y)) < 2:  # pragma: no cover - seed guard
+        y[0] = -y[0]
+    model = AdaBoostClassifier(n_rounds=60).fit(x, y)
+    return model, x
+
+
+class TestVectorizedScoring:
+    def test_matches_loop_on_synthetic_ensemble(self):
+        model = _synthetic_model(rounds=200)
+        x = np.random.default_rng(11).uniform(0, 100, size=(500, 12))
+        np.testing.assert_allclose(
+            model.score(x), model.score_loop(x), rtol=0, atol=1e-9
+        )
+
+    def test_matches_loop_on_trained_model(self):
+        model, x = _trained_model()
+        np.testing.assert_allclose(
+            model.score(x), model.score_loop(x), rtol=0, atol=1e-9
+        )
+
+    def test_predictions_match_loop_sign(self):
+        model, x = _trained_model()
+        loop_margins = model.score_loop(x)
+        # Avoid knife-edge comparisons: only assert where the loop
+        # margin is clearly signed.
+        decisive = np.abs(loop_margins) > 1e-9
+        expected = np.where(loop_margins > 0.0, 1, -1)
+        assert (model.predict(x)[decisive] == expected[decisive]).all()
+
+    def test_staged_scores_match_loop_accumulation(self):
+        model = _synthetic_model(rounds=40)
+        x = np.random.default_rng(23).uniform(0, 100, size=(64, 12))
+        staged = model.staged_scores(x)
+        assert staged.shape == (40, 64)
+        running = np.zeros(64)
+        for t, (stump, alpha) in enumerate(zip(model.stumps, model.alphas)):
+            running = running + alpha * stump.predict(x)
+            np.testing.assert_allclose(staged[t], running, atol=1e-9)
+        np.testing.assert_allclose(staged[-1], model.score(x), atol=1e-9)
+
+    def test_zero_margin_tie_breaks_to_robot(self):
+        # Two stumps with equal votes and opposite polarity cancel
+        # exactly: margin == 0.0 for every sample, and a tie must be
+        # classified robot (-1), the paper's safe default.
+        model = AdaBoostModel(n_features=2)
+        model.stumps = [
+            DecisionStump(feature=0, threshold=5.0, polarity=1),
+            DecisionStump(feature=0, threshold=5.0, polarity=-1),
+        ]
+        model.alphas = [0.75, 0.75]
+        x = np.array([[1.0, 0.0], [9.0, 0.0]])
+        np.testing.assert_array_equal(model.score(x), [0.0, 0.0])
+        np.testing.assert_array_equal(model.score_loop(x), [0.0, 0.0])
+        assert (model.predict(x) == -1).all()
+
+    def test_empty_model_scores_zero_and_predicts_robot(self):
+        model = AdaBoostModel(n_features=3)
+        x = np.zeros((4, 3))
+        np.testing.assert_array_equal(model.score(x), np.zeros(4))
+        assert (model.predict(x) == -1).all()
+        assert model.staged_scores(x).shape == (0, 4)
+
+    def test_packed_cache_refreshes_after_fit_style_append(self):
+        model = _synthetic_model(rounds=5)
+        x = np.random.default_rng(2).uniform(0, 100, size=(16, 12))
+        before = model.score(x)
+        model.stumps.append(
+            DecisionStump(feature=1, threshold=50.0, polarity=1)
+        )
+        model.alphas.append(2.0)
+        after = model.score(x)
+        assert model.compile().rounds == 6
+        np.testing.assert_allclose(after, model.score_loop(x), atol=1e-9)
+        assert not np.allclose(before, after)
+
+    def test_shape_validation(self):
+        model = _synthetic_model(rounds=3)
+        with pytest.raises(ValueError):
+            model.score(np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            model.staged_scores(np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            model.score_loop(np.zeros(12))
+
+
+class TestBatchScorer:
+    def test_flush_matches_model_predict(self):
+        model, x = _trained_model()
+        scorer = BatchScorer(model)
+        for row_index in range(20):
+            scorer.add(f"sess-{row_index}", x[row_index])
+        batch = scorer.flush()
+        assert [v.session_id for v in batch] == [
+            f"sess-{i}" for i in range(20)
+        ]
+        margins = model.score(x[:20])
+        labels = model.predict(x[:20])
+        for verdict, margin, label in zip(batch, margins, labels):
+            assert verdict.margin == pytest.approx(float(margin))
+            assert verdict.label == int(label)
+
+    def test_auto_flush_at_batch_size(self):
+        model = _synthetic_model(rounds=4)
+        flushed: list[list[BatchVerdict]] = []
+        scorer = BatchScorer(model, batch_size=8, on_flush=flushed.append)
+        rng = np.random.default_rng(5)
+        for row_index in range(20):
+            scorer.add(f"s{row_index}", rng.uniform(0, 100, size=12))
+        assert scorer.flushes == 2
+        assert [len(batch) for batch in flushed] == [8, 8]
+        assert scorer.pending == 4
+        scorer.flush()
+        assert scorer.scored == 20
+        assert scorer.pending == 0
+
+    def test_keep_verdicts_false_streams_without_retaining(self):
+        model = _synthetic_model(rounds=2)
+        streamed: list[BatchVerdict] = []
+        scorer = BatchScorer(
+            model,
+            batch_size=4,
+            on_flush=streamed.extend,
+            keep_verdicts=False,
+        )
+        rng = np.random.default_rng(1)
+        for row_index in range(10):
+            scorer.add(f"s{row_index}", rng.uniform(0, 100, size=12))
+        scorer.flush()
+        assert scorer.verdicts == []
+        assert scorer.scored == 10
+        assert len(streamed) == 10
+
+    def test_flush_empty_is_noop(self):
+        scorer = BatchScorer(_synthetic_model(rounds=2))
+        assert scorer.flush() == []
+        assert scorer.flushes == 0
+
+    def test_zero_margin_is_robot(self):
+        verdict = BatchVerdict(session_id="s", margin=0.0)
+        assert verdict.label == -1
+        assert verdict.is_robot
+
+    def test_add_many_and_accumulator(self):
+        from repro.ml.features import FeatureAccumulator
+
+        model = _synthetic_model(rounds=2)
+        scorer = BatchScorer(model)
+        scorer.add_many(
+            (f"s{i}", np.full(12, float(i))) for i in range(3)
+        )
+        scorer.add_accumulator("acc", FeatureAccumulator())
+        assert scorer.pending == 4
+        assert len(scorer.flush()) == 4
+
+    def test_rejects_wrong_width_and_bad_batch_size(self):
+        model = _synthetic_model(rounds=2)
+        scorer = BatchScorer(model)
+        with pytest.raises(ValueError):
+            scorer.add("s", np.zeros(5))
+        with pytest.raises(ValueError):
+            BatchScorer(model, batch_size=0)
