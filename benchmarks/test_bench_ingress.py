@@ -1,0 +1,163 @@
+"""Ingress throughput: executor scaling on the 10k-session shard suite.
+
+Two claims to pin down:
+
+* the ingress is semantics-free — serial, thread and process executors
+  produce identical reductions on the same admitted stream (checked
+  here on a small trace so the property rides along in smoke mode);
+* the **process** executor actually closes the GIL gap: replaying the
+  10k-session suite through per-node lanes in separate interpreters
+  beats the thread path whenever more than one core is available.
+  (On a single-core runner the comparison is skipped — there is no
+  parallelism to demonstrate, only scheduler noise.)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.http.message import Method
+from repro.http.uri import Url
+from repro.proxy.network import ProxyNetwork
+from repro.trace.clf import TraceRecord
+from repro.trace.replay import ReplayConfig, TraceReplayEngine
+from repro.util.rng import RngStream
+
+N_NODES = 4
+SHARDS = 4
+SUITE_SESSIONS = 10_000
+SUITE_REQUESTS_PER_SESSION = 12
+BENCH_SESSIONS = 1_000
+
+
+def _speedup_floor(cores: int) -> float:
+    """What "real parallel speedup" must mean on this machine.
+
+    On >= 4 cores the four lanes genuinely spread out and 1.1x is a
+    conservative floor; on 2-3 cores lanes contend with the admission
+    loop and each other, so the assertion relaxes to strictly-better —
+    still a real win over the GIL, without flaking on scheduler noise.
+    """
+    return 1.1 if cores >= 4 else 1.0
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _suite_trace(n_sessions: int) -> list[TraceRecord]:
+    """Synthetic round-robin trace: n sessions, timestamp-ordered."""
+    records = []
+    for step in range(SUITE_REQUESTS_PER_SESSION):
+        for session in range(n_sessions):
+            records.append(
+                TraceRecord(
+                    client_ip=(
+                        f"10.{session // 65536}."
+                        f"{(session // 256) % 256}.{session % 256}"
+                    ),
+                    timestamp=step * 40.0 + session * 0.001,
+                    method=Method.GET,
+                    url=Url.parse(
+                        f"http://suite.example/p{(session + step) % 32}.html"
+                    ),
+                    status=200,
+                    size=2048,
+                    user_agent=f"agent-{session % 17}",
+                )
+            )
+    return records
+
+
+def _replay(records: list[TraceRecord], **config_kwargs):
+    network = ProxyNetwork(
+        origins={},
+        rng=RngStream(0, "bench-replay"),
+        n_nodes=N_NODES,
+        instrument_enabled=False,
+    )
+    engine = TraceReplayEngine(
+        network,
+        ReplayConfig(assume_sorted=True, shards=SHARDS, **config_kwargs),
+    )
+    return engine.replay(records)
+
+
+def test_ingress_executors_equivalent():
+    """Smoke-safe acceptance: all three executors reduce identically."""
+    records = _suite_trace(400)
+    baseline = _replay(records)
+    for executor in ("serial", "thread", "process"):
+        result = _replay(records, executor=executor, queue_depth=1024)
+        assert result.summary == baseline.summary
+        assert result.kind_census() == baseline.kind_census()
+        assert result.requests_replayed == baseline.requests_replayed
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_bench_ingress_replay(benchmark, executor):
+    """Replay throughput per executor on a 1k-session slice."""
+    records = _suite_trace(BENCH_SESSIONS)
+
+    result = benchmark.pedantic(
+        lambda: _replay(records, executor=executor, queue_depth=4096),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.requests_replayed == len(records)
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["requests"] = len(records)
+    benchmark.extra_info["lanes"] = N_NODES
+    if benchmark.stats is not None and benchmark.stats.stats.mean:
+        benchmark.extra_info["requests_per_sec"] = round(
+            len(records) / benchmark.stats.stats.mean
+        )
+
+
+def test_process_executor_beats_thread_on_shard_suite(request):
+    """Acceptance: real parallel speedup of process over thread lanes.
+
+    The thread path is GIL-bound — four lanes of pure-Python detection
+    work serialize onto one core no matter how many exist.  The process
+    path gives each lane its own interpreter, so with >= 2 cores it must
+    win wall-clock on the 10k-session suite.
+    """
+    if request.config.getoption("benchmark_disable"):
+        pytest.skip(
+            "smoke mode (--benchmark-disable): equivalence checked in "
+            "test_ingress_executors_equivalent, wall-clock not asserted"
+        )
+    if _cores() < 2:
+        pytest.skip(
+            f"only {_cores()} core(s) available: no parallelism to "
+            "demonstrate, only scheduler noise"
+        )
+
+    records = _suite_trace(SUITE_SESSIONS)
+
+    def best_of(executor: str, repeats: int = 2) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = _replay(
+                records, executor=executor, queue_depth=8192
+            )
+            best = min(best, time.perf_counter() - start)
+            assert result.requests_replayed == len(records)
+        return best
+
+    thread_time = best_of("thread")
+    process_time = best_of("process")
+    speedup = thread_time / process_time
+    floor = _speedup_floor(_cores())
+    assert speedup > floor, (
+        f"process executor only {speedup:.2f}x the thread path on "
+        f"{_cores()} cores (need > {floor}x): thread "
+        f"{thread_time:.2f}s vs process {process_time:.2f}s"
+    )

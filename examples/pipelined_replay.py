@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Record a workload, then replay it through the pipelined ingress.
+
+Demonstrates the ingress subsystem end to end:
+
+1. build a deployment, drive a diurnal time-interleaved workload
+   through it, and export the traffic as a CLF trace + probe journal;
+2. replay the log through the **pipelined ingress**: events stream onto
+   bounded per-lane queues (one lane per proxy node, routed by the
+   stable client-IP hash) consumed by serial, thread and true-parallel
+   process executors — and the census comes out byte-identical on every
+   executor, at every queue depth, and to the synchronous loop;
+3. replay once more with a tiny queue and the load-shedding policy to
+   show overload handling: shed requests are *counted* in the network
+   stats, never silently dropped.
+
+Run:  python examples/pipelined_replay.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.proxy.network import ProxyNetwork
+from repro.site.generator import SiteConfig, SiteGenerator
+from repro.site.origin import OriginServer
+from repro.trace.arrival import DiurnalArrival
+from repro.trace.recorder import record_workload
+from repro.trace.replay import ReplayConfig, TraceReplayEngine
+from repro.util.rng import RngStream
+from repro.util.timeutil import DAY
+from repro.workload.engine import WorkloadConfig, WorkloadEngine
+from repro.workload.mixes import CODEEN_WEEK
+
+
+def replay(trace: str, probes: str, **config_kwargs):
+    network = ProxyNetwork(
+        origins={},  # replays need no origin: unrouted requests 502
+        rng=RngStream(0, "replay"),
+        n_nodes=4,
+        instrument_enabled=False,
+    )
+    engine = TraceReplayEngine(
+        network, ReplayConfig(assume_sorted=True, **config_kwargs)
+    )
+    return engine.replay(trace, probes=probes)
+
+
+def main() -> None:
+    rng = RngStream(2006, "pipelined-replay")
+
+    website = SiteGenerator(SiteConfig(n_pages=20)).generate(rng.split("site"))
+    network = ProxyNetwork(
+        origins={website.host: OriginServer(website)},
+        rng=rng.split("proxies"),
+        n_nodes=4,
+    )
+    entry = f"http://{website.host}{website.home_path}"
+
+    engine = WorkloadEngine(
+        network,
+        CODEEN_WEEK,
+        entry,
+        rng.split("workload"),
+        WorkloadConfig(
+            n_sessions=300,
+            duration=DAY,
+            mode="interleaved",
+            arrival=DiurnalArrival(peak_ratio=5.0),
+            captcha_enabled=False,  # out-of-band; leaves no log footprint
+        ),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "day.log.gz")
+        probes = os.path.join(tmp, "day.keys.gz")
+        recorded, recorder = record_workload(engine, trace, probes)
+        print(
+            f"recorded {len(recorder.records)} requests, "
+            f"{len(recorder.probes)} probe registrations"
+        )
+        print(f"live census: {sorted(recorded.kind_census().items())}")
+
+        # The synchronous loop is the reference ...
+        baseline = replay(trace, probes)
+        print(
+            f"\nsynchronous replay: {baseline.requests_replayed} requests, "
+            f"{baseline.analyzable_count} analyzable sessions"
+        )
+
+        # ... and the ingress matches it on every executor.
+        for executor in ("serial", "thread", "process"):
+            result = replay(
+                trace, probes, executor=executor, queue_depth=256
+            )
+            assert result.summary == baseline.summary
+            assert result.kind_census() == baseline.kind_census()
+            print(
+                f"  executor={executor:7s} queued={result.stats.queued:6d} "
+                f"census identical: True"
+            )
+
+        # Overload: a depth-4 queue with shedding enabled.  Requests are
+        # refused when admission outruns the lanes — and every one of
+        # them shows up in the stats.
+        shed_run = replay(
+            trace,
+            probes,
+            executor="thread",
+            queue_depth=4,
+            shed=True,
+        )
+        stats = shed_run.stats
+        total = len(recorder.records) + len(recorder.probes)
+        print(
+            f"\noverload replay (depth=4, shed): handled "
+            f"{shed_run.requests_replayed}, shed {stats.shed}, "
+            f"queued {stats.queued}  (balance: "
+            f"{stats.queued + stats.shed} == {total} admitted)"
+        )
+        assert stats.queued + stats.shed == total
+
+        print(
+            f"\nhuman bounds from the pipelined replay: "
+            f"{baseline.summary.lower_bound:.1%} .. "
+            f"{baseline.summary.upper_bound:.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

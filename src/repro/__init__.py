@@ -9,7 +9,12 @@ families), the CAPTCHA funnel, and the §4.2 AdaBoost study, plus the
 experiment harness that regenerates every table and figure and a trace
 subsystem (:mod:`repro.trace`) that exports any workload as a Combined
 Log Format access log and replays logs — recorded or real — through the
-detection pipeline in global timestamp order.
+detection pipeline in global timestamp order.  The ingress subsystem
+(:mod:`repro.ingress`) puts an explicit admission stage in front of it
+all: hash routing onto bounded per-lane queues with backpressure or
+counted load shedding, micro-batched ensemble scoring, and serial /
+thread / true-parallel process lane executors that never change
+results — only wall-clock.
 
 Quickstart::
 
@@ -31,6 +36,13 @@ from repro.detection import (
     SessionTracker,
     ShardedDetectionService,
     Verdict,
+)
+from repro.ingress import (
+    AsyncIngress,
+    IngressConfig,
+    IngressPipeline,
+    MicroBatchConfig,
+    ShedPolicy,
 )
 from repro.instrument import (
     InstrumentConfig,
@@ -66,11 +78,12 @@ from repro.workload import (
 )
 from repro.workload.codeen import CodeenWeekConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ATTRIBUTE_NAMES",
     "AdaBoostClassifier",
+    "AsyncIngress",
     "BatchScorer",
     "BurstArrival",
     "CODEEN_WEEK",
@@ -79,15 +92,19 @@ __all__ = [
     "DetectionService",
     "DiurnalArrival",
     "FeatureAccumulator",
+    "IngressConfig",
+    "IngressPipeline",
     "InstrumentConfig",
     "InstrumentationRegistry",
     "Label",
+    "MicroBatchConfig",
     "OnlineClassifier",
     "OriginServer",
     "PageInstrumenter",
     "ProxyNetwork",
     "ProxyNode",
     "RngStream",
+    "ShedPolicy",
     "SessionSets",
     "SessionState",
     "SessionTracker",

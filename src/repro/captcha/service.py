@@ -54,6 +54,19 @@ class CaptchaStats:
     passed: int = 0
     failed: int = 0
 
+    def absorb(self, other: "CaptchaStats") -> None:
+        """Fold another funnel's counters into this one.
+
+        Used by the pipelined workload driver, where each ingress lane
+        runs its own funnel (possibly in another process) and the
+        engine re-aggregates them into one deployment-wide view.
+        """
+        self.offered += other.offered
+        self.declined += other.declined
+        self.attempted += other.attempted
+        self.passed += other.passed
+        self.failed += other.failed
+
 
 class CaptchaService:
     """Runs the optional-challenge funnel for one session at a time."""

@@ -98,7 +98,7 @@ def build_record_parser() -> argparse.ArgumentParser:
         help="experiment window, e.g. 90s / 1.5h / 1w (default 1w)",
     )
     parser.add_argument(
-        "--mode", choices=("sequential", "interleaved"),
+        "--mode", choices=("sequential", "interleaved", "pipelined"),
         default="sequential",
     )
     parser.add_argument(
@@ -110,6 +110,17 @@ def build_record_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0,
         help="hash-partition detection state into N shards per node "
              "(0 = unsharded; shard count never changes results)",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default="serial",
+        help="ingress lane executor for --mode pipelined "
+             "(executor choice never changes results)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=0,
+        help="per-lane ingress queue bound in events for --mode "
+             "pipelined (0 = unbounded)",
     )
     return parser
 
@@ -154,6 +165,23 @@ def build_replay_parser() -> argparse.ArgumentParser:
         help="hash-partition detection state into N shards per node "
              "(0 = unsharded; shard count never changes results)",
     )
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default=None,
+        help="stream events through the pipelined ingress on this lane "
+             "executor instead of the synchronous loop (results are "
+             "identical; 'process' runs nodes truly in parallel)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=0,
+        help="per-lane ingress queue bound in events (0 = unbounded; "
+             "needs --executor)",
+    )
+    parser.add_argument(
+        "--shed", action="store_true",
+        help="shed (and count) instead of blocking when a lane queue "
+             "is full (needs --executor and --queue-depth)",
+    )
     return parser
 
 
@@ -196,9 +224,17 @@ def run_record(argv: list[str]) -> int:
             mode=args.mode,
             arrival=profile_by_name(args.arrival),
             shards=args.shards,
+            executor=args.executor,
+            queue_depth=args.queue_depth or None,
         ),
     )
-    result, recorder = record_workload(engine, args.out, args.probes)
+    try:
+        result, recorder = record_workload(engine, args.out, args.probes)
+    except ValueError as exc:
+        # e.g. --mode pipelined --executor process: the recorder's taps
+        # cannot observe lanes running in child interpreters.
+        print(f"repro record: {exc}", file=sys.stderr)
+        return 2
 
     print(f"wrote {len(recorder.records)} requests -> {args.out}")
     if args.probes:
@@ -224,16 +260,21 @@ def run_replay(argv: list[str]) -> int:
         n_nodes=args.nodes,
         instrument_enabled=False,
     )
-    engine = TraceReplayEngine(
-        network,
-        ReplayConfig(
+    try:
+        config = ReplayConfig(
             housekeeping_interval=args.housekeeping,
             assume_sorted=args.assume_sorted,
             default_host=args.default_host,
             strict=args.strict,
             shards=args.shards,
-        ),
-    )
+            executor=args.executor,
+            queue_depth=args.queue_depth or None,
+            shed=args.shed,
+        )
+    except ValueError as exc:
+        print(f"repro replay: {exc}", file=sys.stderr)
+        return 2
+    engine = TraceReplayEngine(network, config)
     from repro.trace.clf import TraceParseError
 
     try:
@@ -252,6 +293,11 @@ def run_replay(argv: list[str]) -> int:
         f"({stats.malformed} malformed lines skipped, "
         f"{result.probes_loaded} probes loaded)"
     )
+    if result.stats.shed:
+        print(
+            f"load shed at admission: {result.stats.shed} events "
+            f"({result.stats.queued} queued)"
+        )
     for sample in stats.samples:
         print(f"  malformed: {sample}")
     if result.requests_replayed == 0 and stats.malformed > 0:

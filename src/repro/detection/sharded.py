@@ -366,6 +366,19 @@ class ShardedDetectionService:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Shard state is picklable; a live thread pool is not.
+
+        The executor is dropped on serialization and lazily recreated
+        on first use, so sharded services travel into ingress worker
+        processes (the process lane executor) unchanged.
+        """
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
 
 def shard_service(
     service: "DetectionService | ShardedDetectionService",

@@ -1,0 +1,411 @@
+"""Pluggable lane executors: serial, thread, and true-parallel process.
+
+A *lane* is one fully self-contained partition of ingress state (in this
+codebase: one proxy node, which owns its detection shards, cache,
+limiter, probe registry and counters).  A *lane worker* is any object
+with
+
+* ``process(event)`` — consume one admitted event, mutating only lane
+  state, and
+* ``finish()`` — flush, finalize and return a picklable result.
+
+Executors own the delivery discipline, never the semantics: every
+implementation delivers each lane's events in admission order to exactly
+one consumer, so the three executors (and any queue depth) are
+observationally identical whenever nothing is shed — the property the
+determinism suite pins down.
+
+* :class:`SerialLaneExecutor` processes events inline in the admission
+  thread.  Zero overhead, the baseline.
+* :class:`ThreadLaneExecutor` runs one consumer thread per lane behind a
+  bounded :class:`~repro.ingress.queues.LaneQueue`.  Under CPython's GIL
+  this pipelines I/O and C-extension work but not pure-Python CPU.
+* :class:`ProcessLaneExecutor` runs one worker *process* per lane,
+  shipping events in pickled chunks over a bounded ``multiprocessing``
+  queue and collecting each lane's finished result at close.  This is
+  the executor that actually closes the GIL gap: lane state lives in the
+  child, so per-event work runs genuinely in parallel.  Events and lane
+  results must be picklable; lane workers are shipped to the child at
+  start (fork makes that free, spawn pickles them once).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as stdlib_queue
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.ingress.queues import CLOSED, LaneQueue, QueueClosed, ShedPolicy
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+class LaneWorker(Protocol):
+    """What an executor drives: per-lane event consumption + finish."""
+
+    def process(self, event) -> None: ...
+
+    def finish(self): ...
+
+
+@dataclass
+class LaneTelemetry:
+    """Per-lane delivery counters an executor reports at close."""
+
+    lane: int
+    enqueued: int = 0
+    shed: int = 0
+    high_watermark: int = 0
+
+
+class LaneExecutorBase:
+    """Shared surface: submit events to lanes, close to collect results."""
+
+    def __init__(self, workers: Sequence[LaneWorker]) -> None:
+        if not workers:
+            raise ValueError("need at least one lane worker")
+        self._workers = list(workers)
+
+    @property
+    def n_lanes(self) -> int:
+        """How many independent lanes this executor drives."""
+        return len(self._workers)
+
+    def submit(self, lane: int, event, force: bool = False) -> bool:
+        """Deliver one event to a lane; False when it was shed.
+
+        ``force`` bypasses the shed policy (always backpressure) — used
+        for events that must never be dropped, like probe-journal key
+        material.
+        """
+        raise NotImplementedError
+
+    def close(self) -> tuple[list, list[LaneTelemetry]]:
+        """Finish every lane; returns (lane results, delivery telemetry).
+
+        Results are ordered by lane index.  Any exception raised inside
+        a lane worker is re-raised here, lowest lane first.
+        """
+        raise NotImplementedError
+
+
+class SerialLaneExecutor(LaneExecutorBase):
+    """Process events inline: the admission thread is the only consumer."""
+
+    def __init__(self, workers: Sequence[LaneWorker]) -> None:
+        super().__init__(workers)
+        self._telemetry = [LaneTelemetry(lane) for lane in range(self.n_lanes)]
+
+    def submit(self, lane: int, event, force: bool = False) -> bool:
+        self._workers[lane].process(event)
+        self._telemetry[lane].enqueued += 1
+        return True
+
+    def close(self) -> tuple[list, list[LaneTelemetry]]:
+        return [worker.finish() for worker in self._workers], self._telemetry
+
+
+class ThreadLaneExecutor(LaneExecutorBase):
+    """One consumer thread per lane behind a bounded LaneQueue."""
+
+    def __init__(
+        self,
+        workers: Sequence[LaneWorker],
+        depth: int | None = None,
+        policy: ShedPolicy = ShedPolicy.BLOCK,
+    ) -> None:
+        super().__init__(workers)
+        self._policy = policy
+        self.queues = [LaneQueue(depth) for _ in workers]
+        self._errors: list[BaseException | None] = [None] * self.n_lanes
+        self._results: list = [None] * self.n_lanes
+        self._threads = [
+            threading.Thread(
+                target=self._consume,
+                args=(lane,),
+                name=f"ingress-lane-{lane}",
+                daemon=True,
+            )
+            for lane in range(self.n_lanes)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, lane: int, event, force: bool = False) -> bool:
+        block = force or self._policy is ShedPolicy.BLOCK
+        try:
+            return self.queues[lane].put(event, block=block)
+        except QueueClosed:
+            raise RuntimeError("submit() after close()") from None
+
+    def close(self) -> tuple[list, list[LaneTelemetry]]:
+        for queue in self.queues:
+            queue.close()
+        for thread in self._threads:
+            thread.join()
+        for lane, error in enumerate(self._errors):
+            if error is not None:
+                raise RuntimeError(
+                    f"ingress lane {lane} worker failed"
+                ) from error
+        results = list(self._results)
+        telemetry = [
+            LaneTelemetry(
+                lane,
+                enqueued=queue.enqueued,
+                shed=queue.shed,
+                high_watermark=queue.high_watermark,
+            )
+            for lane, queue in enumerate(self.queues)
+        ]
+        return results, telemetry
+
+    def _consume(self, lane: int) -> None:
+        worker = self._workers[lane]
+        queue = self.queues[lane]
+        while True:
+            event = queue.get()
+            if event is CLOSED:
+                break
+            if self._errors[lane] is not None:
+                continue  # keep draining so the producer never deadlocks
+            try:
+                worker.process(event)
+            except BaseException as exc:  # surfaced at close()
+                self._errors[lane] = exc
+        if self._errors[lane] is not None:
+            return
+        # finish() runs here, on the lane's own thread, so lanes whose
+        # real work happens at finish (the workload workers drive every
+        # session there) still overlap instead of serializing onto the
+        # closing thread.
+        try:
+            self._results[lane] = worker.finish()
+        except BaseException as exc:
+            self._errors[lane] = exc
+
+
+def _lane_child_main(lane, worker, inbox, outbox) -> None:
+    """Child-process loop: drain event chunks, then ship the result.
+
+    On a worker error the child keeps draining (and discarding) chunks
+    until the close sentinel — a stopped consumer on a bounded pipe
+    would deadlock the admission loop — and reports the first failure
+    at close.
+    """
+    error: str | None = None
+    while True:
+        chunk = inbox.get()
+        if chunk is None:
+            break
+        if error is not None:
+            continue
+        try:
+            for event in chunk:
+                worker.process(event)
+        except BaseException as exc:
+            error = f"{exc!r}\n{traceback.format_exc()}"
+    if error is None:
+        try:
+            outbox.put((lane, "ok", worker.finish()))
+            return
+        except BaseException as exc:
+            error = f"{exc!r}\n{traceback.format_exc()}"
+    outbox.put((lane, "error", error))
+
+
+class ProcessLaneExecutor(LaneExecutorBase):
+    """One worker process per lane — true parallel lane execution.
+
+    Events are shipped in chunks of ``chunk_size`` to amortise pickling
+    and queue wake-ups; chunk boundaries are invisible to results
+    because each lane still consumes its events strictly in admission
+    order.  ``depth`` (in events) maps onto the bounded inter-process
+    queue in chunk units, so backpressure still reaches the admission
+    loop.  Under the SHED policy a full pipe sheds the whole pending
+    chunk — shedding granularity is the price of amortised IPC, and
+    every shed event is still counted.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[LaneWorker],
+        depth: int | None = None,
+        policy: ShedPolicy = ShedPolicy.BLOCK,
+        chunk_size: int = 256,
+    ) -> None:
+        super().__init__(workers)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self._policy = policy
+        self._chunk_size = chunk_size
+        if depth is not None:
+            self._chunk_size = min(self._chunk_size, depth)
+        depth_chunks = (
+            0 if depth is None else max(1, depth // self._chunk_size)
+        )
+        context = multiprocessing.get_context()
+        self._outbox = context.Queue()
+        self._inboxes = [
+            context.Queue(maxsize=depth_chunks) for _ in workers
+        ]
+        self._buffers: list[list] = [[] for _ in workers]
+        self._telemetry = [LaneTelemetry(lane) for lane in range(self.n_lanes)]
+        self._processes = [
+            context.Process(
+                target=_lane_child_main,
+                args=(lane, worker, self._inboxes[lane], self._outbox),
+                name=f"ingress-lane-{lane}",
+                daemon=True,
+            )
+            for lane, worker in enumerate(self._workers)
+        ]
+        for process in self._processes:
+            process.start()
+
+    def submit(self, lane: int, event, force: bool = False) -> bool:
+        buffer = self._buffers[lane]
+        if force:
+            # Never-shed events flush the pending chunk under the normal
+            # policy, then ride their own always-blocking chunk.
+            self._flush(lane)
+            self._send(lane, [event], block=True)
+            return True
+        buffer.append(event)
+        if len(buffer) >= self._chunk_size:
+            return self._flush(lane)
+        return True
+
+    def close(self) -> tuple[list, list[LaneTelemetry]]:
+        for lane in range(self.n_lanes):
+            self._flush(lane)
+            self._put_alive(lane, None)
+        collected = self._collect_results()
+        for process in self._processes:
+            process.join()
+        failures = [
+            (lane, payload)
+            for lane, (status, payload) in sorted(collected.items())
+            if status != "ok"
+        ]
+        if failures:
+            lane, payload = failures[0]
+            raise RuntimeError(
+                f"ingress lane {lane} worker failed:\n{payload}"
+            )
+        results = [collected[lane][1] for lane in range(self.n_lanes)]
+        return results, self._telemetry
+
+    def _put_alive(self, lane: int, obj) -> None:
+        """Blocking put that never waits on a corpse.
+
+        A child killed mid-run (OOM, segfault) stops consuming; with a
+        bounded pipe the admission thread would block in ``put()``
+        forever, ahead of any dead-child detection at close.  Poll the
+        pipe with a timeout and check liveness between attempts.
+        """
+        inbox = self._inboxes[lane]
+        process = self._processes[lane]
+        while True:
+            try:
+                inbox.put(obj, timeout=0.5)
+                return
+            except stdlib_queue.Full:
+                if not process.is_alive():
+                    raise RuntimeError(
+                        f"ingress lane {lane} worker process died "
+                        f"(exitcode {process.exitcode}) with its event "
+                        "pipe full; admission aborted"
+                    ) from None
+
+    def _collect_results(self) -> dict[int, tuple[str, object]]:
+        """One (status, payload) per lane — never hang on a dead child.
+
+        A child killed mid-run (OOM, segfault, external kill) can never
+        deliver its result tuple; a blocking ``get()`` would wedge the
+        whole close.  Poll instead, and when an unreported lane's
+        process is gone, allow one grace read (results flush through
+        the pipe as the child exits) before giving up loudly.
+        """
+        collected: dict[int, tuple[str, object]] = {}
+        pending = set(range(self.n_lanes))
+
+        def take(timeout: float) -> bool:
+            try:
+                lane, status, payload = self._outbox.get(timeout=timeout)
+            except stdlib_queue.Empty:
+                return False
+            collected[lane] = (status, payload)
+            pending.discard(lane)
+            return True
+
+        while pending:
+            if take(0.5):
+                continue
+            dead = sorted(
+                lane
+                for lane in pending
+                if not self._processes[lane].is_alive()
+            )
+            if dead and not take(5.0):
+                lane = dead[0]
+                raise RuntimeError(
+                    f"ingress lane {lane} worker process died without "
+                    f"reporting a result (exitcode "
+                    f"{self._processes[lane].exitcode}); its events are "
+                    "lost — results from other lanes were discarded to "
+                    "avoid returning a partial merge"
+                )
+        return collected
+
+    def _flush(self, lane: int) -> bool:
+        buffer = self._buffers[lane]
+        if not buffer:
+            return True
+        chunk = buffer[:]
+        buffer.clear()
+        return self._send(lane, chunk, block=self._policy is ShedPolicy.BLOCK)
+
+    def _send(self, lane: int, chunk: list, block: bool) -> bool:
+        telemetry = self._telemetry[lane]
+        inbox = self._inboxes[lane]
+        if block:
+            self._put_alive(lane, chunk)
+        else:
+            try:
+                inbox.put_nowait(chunk)
+            except stdlib_queue.Full:
+                telemetry.shed += len(chunk)
+                return False
+        telemetry.enqueued += len(chunk)
+        try:
+            size = inbox.qsize()
+        except NotImplementedError:  # macOS: sem_getvalue unsupported
+            size = 0
+        if size > telemetry.high_watermark:
+            telemetry.high_watermark = size
+        return True
+
+
+def build_executor(
+    kind: str,
+    workers: Sequence[LaneWorker],
+    depth: int | None = None,
+    policy: ShedPolicy = ShedPolicy.BLOCK,
+    chunk_size: int = 256,
+) -> LaneExecutorBase:
+    """Instantiate an executor by name (``serial``/``thread``/``process``)."""
+    if kind == "serial":
+        return SerialLaneExecutor(workers)
+    if kind == "thread":
+        return ThreadLaneExecutor(workers, depth=depth, policy=policy)
+    if kind == "process":
+        return ProcessLaneExecutor(
+            workers, depth=depth, policy=policy, chunk_size=chunk_size
+        )
+    raise ValueError(
+        f"unknown executor {kind!r}; available: {EXECUTOR_KINDS}"
+    )

@@ -1,0 +1,143 @@
+"""Admission frontends: who drives events into the pipeline.
+
+:meth:`IngressPipeline.submit` is already a complete synchronous
+admission API — the calling thread is the driver, and a full lane queue
+simply blocks it (or sheds, per policy).  The two frontends here wrap
+that same pipeline for the other driving styles a front end needs:
+
+* :class:`ThreadedDriver` pumps an event iterable from a dedicated
+  thread, so the caller can keep producing (or serving) while admission
+  and backpressure happen elsewhere;
+* :class:`AsyncIngress` is the asyncio variant: ``await submit(...)``
+  applies backpressure as coroutine suspension instead of a blocked
+  thread, and a single pump task performs the actual (potentially
+  blocking) queue puts in an executor thread — one at a time, so the
+  admission order every determinism guarantee rests on is preserved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Iterable
+
+from repro.ingress.pipeline import IngressPipeline, IngressResult
+
+#: Internal close marker for the async admission queue.
+_DONE = object()
+
+
+class ThreadedDriver:
+    """Drives ``(event, client_ip)`` pairs through a pipeline off-thread."""
+
+    def __init__(self, pipeline: IngressPipeline) -> None:
+        self._pipeline = pipeline
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    def start(self, events: Iterable[tuple[object, str]]) -> "ThreadedDriver":
+        """Begin admitting ``events`` from a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("driver already started")
+
+        def pump() -> None:
+            try:
+                for event, client_ip in events:
+                    self._pipeline.submit(event, client_ip)
+            except BaseException as exc:  # re-raised in join()
+                self._error = exc
+
+        self._thread = threading.Thread(
+            target=pump, name="ingress-driver", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def join(self) -> IngressResult:
+        """Wait for admission to finish and close the pipeline."""
+        if self._thread is None:
+            raise RuntimeError("driver never started")
+        self._thread.join()
+        if self._error is not None:
+            raise RuntimeError("ingress driver failed") from self._error
+        return self._pipeline.close()
+
+
+class AsyncIngress:
+    """asyncio admission loop over an :class:`IngressPipeline`.
+
+    ``max_pending`` bounds the hand-off queue between coroutines and the
+    pump task; together with the lane queues' own bounds this gives an
+    event loop end-to-end backpressure without ever blocking it.
+
+    Usage::
+
+        ingress = await AsyncIngress(pipeline).start()
+        await ingress.submit(event, client_ip)
+        ...
+        result = await ingress.close()
+    """
+
+    def __init__(
+        self, pipeline: IngressPipeline, max_pending: int = 1024
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._pipeline = pipeline
+        self._max_pending = max_pending
+        self._queue: asyncio.Queue | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._error: BaseException | None = None
+
+    async def start(self) -> "AsyncIngress":
+        """Create the admission queue and pump task on the running loop."""
+        if self._queue is not None:
+            raise RuntimeError("async ingress already started")
+        self._queue = asyncio.Queue(self._max_pending)
+        self._pump_task = asyncio.get_running_loop().create_task(
+            self._pump()
+        )
+        return self
+
+    async def submit(
+        self, event, client_ip: str, force: bool = False
+    ) -> None:
+        """Admit one event; suspends when the hand-off queue is full."""
+        if self._queue is None:
+            raise RuntimeError("async ingress not started")
+        if self._error is not None:
+            raise RuntimeError("ingress admission failed") from self._error
+        await self._queue.put((event, client_ip, force))
+
+    async def close(self) -> IngressResult:
+        """Flush admission, close the pipeline, return the merged result."""
+        if self._queue is None or self._pump_task is None:
+            raise RuntimeError("async ingress not started")
+        await self._queue.put(_DONE)
+        await self._pump_task
+        if self._error is not None:
+            raise RuntimeError("ingress admission failed") from self._error
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._pipeline.close)
+
+    async def _pump(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _DONE:
+                return
+            if self._error is not None:
+                continue  # keep draining so producers never wedge
+            event, client_ip, force = item
+            # One blocking put at a time, in arrival order: ordering is
+            # the determinism contract, so admission never fans out.
+            try:
+                await loop.run_in_executor(
+                    None, self._pipeline.submit, event, client_ip, force
+                )
+            except BaseException as exc:
+                # A dying pump would strand every later submit() on a
+                # full queue; record the failure and surface it from
+                # submit()/close() instead.
+                self._error = exc

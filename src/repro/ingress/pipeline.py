@@ -1,0 +1,224 @@
+"""The ingress pipeline: admission, routing, dispatch, merge.
+
+This is the layer the ROADMAP's "async proxy front end" item asked for:
+between *arrival* (a trace event, a synthetic session) and *shard*
+(a proxy node's detection state) now sits an explicit admission step
+that
+
+1. routes every event by the stable BLAKE2b hash of its session key's
+   client IP — the same sticky assignment CoDeeN clients get, and the
+   partition the paper's probe table is indexed by, so all of a
+   client's sessions, probes and rate-limit state live in one lane;
+2. enqueues it on that lane's bounded queue (backpressure by default,
+   counted load-shedding on request); and
+3. lets a pluggable executor — serial, thread, or true-parallel
+   process — consume each lane strictly in admission order.
+
+Because lanes are total partitions of mutable state and each lane is
+consumed in admission order, the final reductions are a pure function
+of the admitted event sequence: executor choice and queue depth change
+wall-clock behaviour, never results.  The merge step reassembles lane
+results in lane order (the same order the synchronous code iterates
+nodes), so even list layouts match the one-thread path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ingress.batcher import MicroBatchConfig
+from repro.ingress.executors import EXECUTOR_KINDS, build_executor
+from repro.ingress.queues import ShedPolicy
+from repro.ingress.workers import LaneResult
+from repro.detection.online import DetectionLatency
+from repro.detection.session import SessionState
+from repro.detection.set_algebra import SessionSets
+from repro.ml.adaboost import AdaBoostModel
+from repro.ml.batch import BatchVerdict
+from repro.proxy.network import NetworkStats, ProxyNetwork
+
+
+@dataclass(frozen=True)
+class IngressConfig:
+    """Admission and dispatch parameters.
+
+    ``queue_depth`` bounds each lane's backlog in events (None =
+    unbounded).  ``policy`` picks what a full queue does to admission:
+    ``BLOCK`` (default) applies backpressure and preserves bit-exact
+    determinism at any depth; ``SHED`` refuses the event, counts it in
+    the node/network ``shed`` statistic, and keeps queueing delay
+    bounded.  ``chunk_size`` is the process executor's IPC batch size —
+    invisible to results.  ``scorer_model`` enables per-lane
+    micro-batched ensemble scoring under the ``batch`` budgets.
+    """
+
+    executor: str = "serial"
+    queue_depth: int | None = None
+    policy: ShedPolicy = ShedPolicy.BLOCK
+    chunk_size: int = 256
+    housekeeping_interval: float = 600.0
+    batch: MicroBatchConfig = field(default_factory=MicroBatchConfig)
+    scorer_model: AdaBoostModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.executor!r}"
+            )
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ValueError(
+                "queue_depth must be >= 1 (or None for unbounded)"
+            )
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.housekeeping_interval < 0:
+            raise ValueError("housekeeping_interval must be non-negative")
+
+
+@dataclass
+class IngressResult:
+    """Merged output of every lane, plus admission accounting."""
+
+    sessions: list[SessionState] = field(default_factory=list)
+    stats: NetworkStats = field(default_factory=NetworkStats)
+    latencies: list[DetectionLatency] = field(default_factory=list)
+    ml_verdicts: list[BatchVerdict] = field(default_factory=list)
+    lanes: list[LaneResult] = field(default_factory=list)
+    handled: int = 0
+    probes_loaded: int = 0
+    queued: int = 0
+    shed: int = 0
+    first_timestamp: float = 0.0
+    last_timestamp: float = 0.0
+
+    def session_sets(self) -> SessionSets:
+        """Set-algebra census over the merged analyzable sessions."""
+        return SessionSets.from_sessions(self.sessions)
+
+
+class IngressPipeline:
+    """Routes admitted events onto per-lane queues behind an executor.
+
+    One lane per proxy node; build workers with
+    :func:`replay_workers` / the workload engine's session workers and
+    feed events through :meth:`submit` from a single admission driver
+    (the calling thread, :class:`~repro.ingress.frontend.ThreadedDriver`,
+    or :class:`~repro.ingress.frontend.AsyncIngress`).
+    """
+
+    def __init__(
+        self,
+        network: ProxyNetwork,
+        workers,
+        config: IngressConfig | None = None,
+    ) -> None:
+        config = config or IngressConfig()
+        if len(workers) != len(network.nodes):
+            raise ValueError(
+                f"need one worker per node: {len(workers)} workers for "
+                f"{len(network.nodes)} nodes"
+            )
+        if config.executor == "process" and (
+            network.taps
+            or any(
+                node.detection.registry.has_listeners
+                for node in network.nodes
+            )
+        ):
+            raise ValueError(
+                "traffic taps / registry listeners cannot observe "
+                "process-executor lanes (they would fire in the child "
+                "interpreter and be lost): record with the serial or "
+                "thread executor, or detach the observers first"
+            )
+        self._network = network
+        self._config = config
+        self._executor = build_executor(
+            config.executor,
+            workers,
+            depth=config.queue_depth,
+            policy=config.policy,
+            chunk_size=config.chunk_size,
+        )
+        self._closed = False
+
+    @property
+    def config(self) -> IngressConfig:
+        """The admission parameters."""
+        return self._config
+
+    @property
+    def n_lanes(self) -> int:
+        """How many per-node lanes events are partitioned across."""
+        return self._executor.n_lanes
+
+    def lane_for(self, client_ip: str) -> int:
+        """Stable lane assignment: the client's sticky node index."""
+        return self._network.node_index_for(client_ip)
+
+    def submit(self, event, client_ip: str, force: bool = False) -> bool:
+        """Admit one event; False when the shed policy refused it.
+
+        ``force`` bypasses shedding for events that must never drop
+        (probe-journal registrations are key material, not load).
+        """
+        if self._closed:
+            raise RuntimeError("submit() on a closed ingress pipeline")
+        return self._executor.submit(
+            self.lane_for(client_ip), event, force=force
+        )
+
+    def close(self) -> IngressResult:
+        """Drain every lane, collect lane results, merge deterministically."""
+        if self._closed:
+            raise RuntimeError("ingress pipeline already closed")
+        self._closed = True
+        lane_results, telemetry = self._executor.close()
+        return self._merge(lane_results, telemetry)
+
+    def _merge(self, lane_results, telemetry) -> IngressResult:
+        result = IngressResult(lanes=list(lane_results))
+        firsts: list[float] = []
+        lasts: list[float] = []
+        for lane in lane_results:
+            counters = telemetry[lane.lane]
+            # Admission-side accounting folds into the lane's own node
+            # stats so Table-1 aggregates always balance: every arrival
+            # is either queued (and eventually handled) or shed.
+            lane.stats.queued += counters.enqueued
+            lane.stats.shed += counters.shed
+            result.sessions.extend(lane.sessions)
+            result.latencies.extend(lane.latencies)
+            result.ml_verdicts.extend(lane.ml_verdicts)
+            result.stats.absorb(lane.stats)
+            result.handled += lane.handled
+            result.probes_loaded += lane.probes_loaded
+            if lane.first_timestamp is not None:
+                firsts.append(lane.first_timestamp)
+            if lane.last_timestamp is not None:
+                lasts.append(lane.last_timestamp)
+        result.queued = result.stats.queued
+        result.shed = result.stats.shed
+        result.first_timestamp = min(firsts) if firsts else 0.0
+        result.last_timestamp = max(lasts) if lasts else 0.0
+        return result
+
+
+def replay_workers(
+    network: ProxyNetwork, config: IngressConfig
+) -> list:
+    """One :class:`ReplayLaneWorker` per node, configured from ``config``."""
+    from repro.ingress.workers import ReplayLaneWorker
+
+    return [
+        ReplayLaneWorker(
+            lane,
+            node,
+            housekeeping_interval=config.housekeeping_interval,
+            scorer_model=config.scorer_model,
+            batch=config.batch,
+            taps=network.taps,
+        )
+        for lane, node in enumerate(network.nodes)
+    ]

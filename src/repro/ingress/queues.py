@@ -1,0 +1,119 @@
+"""Bounded per-lane admission queues with backpressure and load shedding.
+
+A :class:`LaneQueue` is the buffer between the ingress admission loop
+(one producer, in arrival order) and one lane's executor (one consumer).
+Order is the contract: items leave in exactly the order they were
+admitted, which is what makes every downstream reduction independent of
+executor choice and queue depth.
+
+When the queue is full the producer picks one of two behaviours, named
+by :class:`ShedPolicy`:
+
+* ``BLOCK`` — wait for space.  Backpressure propagates to the admission
+  loop, every admitted event is eventually processed, and results are
+  bit-identical at any depth (depth only changes how far the producer
+  can run ahead).
+* ``SHED`` — refuse the event and count it.  Latency stays bounded under
+  overload at the price of dropped work; the shed count is surfaced in
+  the node/network statistics so a Table-1-style report can never
+  silently lose traffic.  How *many* events shed depends on consumer
+  speed, so a shedding run trades the determinism guarantee for bounded
+  queueing delay — exactly the trade a live deployment makes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from enum import Enum
+
+
+class ShedPolicy(Enum):
+    """What admission does when a lane queue is full."""
+
+    BLOCK = "block"
+    SHED = "shed"
+
+
+class QueueClosed(RuntimeError):
+    """Raised on :meth:`LaneQueue.put` after :meth:`LaneQueue.close`."""
+
+
+#: Returned by :meth:`LaneQueue.get` once the queue is closed and empty.
+CLOSED = object()
+
+
+class LaneQueue:
+    """A bounded FIFO between one producer and one lane consumer.
+
+    ``depth=None`` means unbounded (admission never waits or sheds).
+    Counters are maintained under the queue lock: ``enqueued`` admitted
+    items, ``shed`` refused items, and ``high_watermark`` — the deepest
+    the backlog ever got, the number capacity planning actually wants.
+    """
+
+    def __init__(self, depth: int | None = None) -> None:
+        if depth is not None and depth < 1:
+            raise ValueError("depth must be >= 1 (or None for unbounded)")
+        self._depth = depth
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.enqueued = 0
+        self.shed = 0
+        self.high_watermark = 0
+
+    @property
+    def depth(self) -> int | None:
+        """Maximum backlog (None = unbounded)."""
+        return self._depth
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(self, item, block: bool = True) -> bool:
+        """Admit one item; returns False when it was shed instead.
+
+        ``block=True`` waits for space (backpressure); ``block=False``
+        refuses immediately when full and counts the item as shed.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("put() on a closed lane queue")
+            while (
+                self._depth is not None
+                and len(self._items) >= self._depth
+            ):
+                if not block:
+                    self.shed += 1
+                    return False
+                self._not_full.wait()
+                if self._closed:
+                    raise QueueClosed("lane queue closed while waiting")
+            self._items.append(item)
+            self.enqueued += 1
+            if len(self._items) > self.high_watermark:
+                self.high_watermark = len(self._items)
+            self._not_empty.notify()
+            return True
+
+    def get(self):
+        """Take the oldest item; :data:`CLOSED` once closed and drained."""
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return CLOSED
+                self._not_empty.wait()
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Stop admission; consumers drain the backlog then see CLOSED."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()

@@ -1,0 +1,265 @@
+"""Lane workers: the per-lane consumers the executors drive.
+
+A lane wraps one :class:`~repro.proxy.node.ProxyNode` — the unit of the
+codebase that is already fully self-contained (detection shards, probe
+registry, cache, rate limiter, counters all live on the node, and the
+network routes each client IP to exactly one node).  That containment is
+what makes lanes safe to run on threads or in separate processes with no
+locks and no cross-talk: a lane's events touch that lane's state only.
+
+Two worker flavours:
+
+* :class:`ReplayLaneWorker` consumes trace events — requests and
+  probe-journal registrations — in admission order, sweeping its node's
+  housekeeping on the lane's own event clock and feeding every handled
+  exchange to the lane's :class:`~repro.ingress.batcher.MicroBatcher`.
+* :class:`WorkloadLaneWorker` consumes *session* events (agent + start
+  time), then drives them through the node with the interleaved
+  event-time scheduler at finish, annotating ground truth and running
+  the CAPTCHA funnel exactly like the synchronous engine — per-IP RNG
+  splits make those outcomes independent of which lane a session
+  landed on.
+
+Both return a picklable :class:`LaneResult`, so the same worker code
+runs inline, on a thread, or inside a process-pool child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.captcha.challenge import CaptchaOutcome
+from repro.captcha.service import CaptchaConfig, CaptchaService, CaptchaStats
+from repro.detection.online import DetectionLatency
+from repro.detection.session import SessionState
+from repro.ingress.batcher import MicroBatchConfig, MicroBatcher
+from repro.ml.adaboost import AdaBoostModel
+from repro.ml.batch import BatchVerdict
+from repro.ml.dataset import SessionExample
+from repro.proxy.node import NodeStats, ProxyNode
+from repro.util.rng import RngStream
+from repro.workload.session_run import SessionRecord
+
+#: Event tags admitted through the ingress queues.
+REQUEST_EVENT = "request"
+PROBE_EVENT = "probe"
+SESSION_EVENT = "session"
+
+
+@dataclass
+class LaneResult:
+    """Everything one lane produced, picklable for process executors."""
+
+    lane: int
+    stats: NodeStats
+    sessions: list[SessionState] = field(default_factory=list)
+    latencies: list[DetectionLatency] = field(default_factory=list)
+    ml_verdicts: list[BatchVerdict] = field(default_factory=list)
+    handled: int = 0
+    probes_loaded: int = 0
+    first_timestamp: float | None = None
+    last_timestamp: float | None = None
+    #: Workload lanes only: (original index, record/example) pairs and
+    #: the lane's CAPTCHA funnel counters.
+    records: list[tuple[int, SessionRecord]] | None = None
+    examples: list[tuple[int, SessionExample]] | None = None
+    captcha_stats: CaptchaStats | None = None
+
+
+class ReplayLaneWorker:
+    """Streams one lane's trace events through its proxy node."""
+
+    def __init__(
+        self,
+        lane: int,
+        node: ProxyNode,
+        housekeeping_interval: float = 600.0,
+        scorer_model: AdaBoostModel | None = None,
+        batch: MicroBatchConfig | None = None,
+        taps=(),
+    ) -> None:
+        self.lane = lane
+        self.node = node
+        self._interval = housekeeping_interval or None
+        self._next_sweep: float | None = None
+        if batch is not None:
+            # The batcher may only evict accumulators for sessions the
+            # tracker would rotate on return; a shorter eviction window
+            # would silently truncate feature histories.  Clamp up.
+            tracker_timeout = node.detection.tracker.idle_timeout
+            if batch.idle_timeout < tracker_timeout:
+                batch = replace(batch, idle_timeout=tracker_timeout)
+        self._batcher = MicroBatcher(scorer_model, batch)
+        self._taps = tuple(taps)
+        self._handled = 0
+        self._probes_loaded = 0
+        self._first: float | None = None
+        self._last: float | None = None
+
+    def process(self, event) -> None:
+        """Consume one admitted ``(kind, record)`` event."""
+        kind, record = event
+        if kind == PROBE_EVENT:
+            self._sweep(record.issued_at)
+            self.node.detection.registry.register(record.to_probe())
+            self._probes_loaded += 1
+            return
+        self._sweep(record.timestamp)
+        request = record.to_request()
+        response, outcome = self.node.handle_traced(request)
+        if outcome is not None:
+            self._batcher.observe(outcome, request, response)
+        # Lane traffic bypasses ProxyNetwork.handle, so the network's
+        # taps (trace recorders) are fired here instead.
+        for tap in self._taps:
+            tap(request, response)
+        self._handled += 1
+        if self._first is None:
+            self._first = record.timestamp
+        self._last = record.timestamp
+
+    def finish(self) -> LaneResult:
+        """Flush scoring, finalize detection, reduce to a LaneResult."""
+        self._batcher.close()
+        self.node.detection.finalize()
+        return LaneResult(
+            lane=self.lane,
+            stats=self.node.stats,
+            sessions=self.node.detection.tracker.analyzable(),
+            latencies=self.node.detection.detection_latencies(),
+            ml_verdicts=self._batcher.verdicts,
+            handled=self._handled,
+            probes_loaded=self._probes_loaded,
+            first_timestamp=self._first,
+            last_timestamp=self._last,
+        )
+
+    def _sweep(self, timestamp: float) -> None:
+        # Same anchoring as the synchronous replay loop, but on this
+        # lane's own event clock: the first event arms the timer, and a
+        # sweep at the end of an idle gap subsumes the boundary sweeps
+        # inside it.  Sweep timing is behaviour-neutral (idle rotation,
+        # cache TTL and bucket eviction are all re-checked on access),
+        # so lane-local clocks keep results identical to the global one.
+        if self._interval is None:
+            return
+        if self._next_sweep is None:
+            self._next_sweep = timestamp + self._interval
+        elif timestamp >= self._next_sweep:
+            self.node.housekeeping(timestamp)
+            self._next_sweep = timestamp + self._interval
+
+
+class WorkloadLaneWorker:
+    """Buffers one lane's sessions, then drives them in event-time order.
+
+    Admission streams ``(SESSION_EVENT, index, agent, start)`` tuples;
+    the actual driving happens at :meth:`finish` so the lane can heap-
+    order *all* its sessions by next-event time — the same discipline
+    (and therefore the same per-node request order, byte for byte) as
+    the global interleaved scheduler restricted to this node's clients.
+    """
+
+    def __init__(
+        self,
+        lane: int,
+        node: ProxyNode,
+        budget,
+        collect_features: bool,
+        housekeeping_interval: float,
+        captcha_enabled: bool,
+        captcha_config: CaptchaConfig,
+        captcha_rng: RngStream,
+        taps=(),
+    ) -> None:
+        self.lane = lane
+        self.node = node
+        self._budget = budget
+        self._collect_features = collect_features
+        self._interval = housekeeping_interval
+        self._captcha_enabled = captcha_enabled
+        self._captcha = CaptchaService(captcha_config)
+        self._captcha_rng = captcha_rng
+        self._taps = tuple(taps)
+        self._indices: list[int] = []
+        self._agents: list = []
+        self._starts: list[float] = []
+
+    def process(self, event) -> None:
+        """Accept one admitted session assignment."""
+        _kind, index, agent, start = event
+        self._indices.append(index)
+        self._agents.append(agent)
+        self._starts.append(start)
+
+    def finish(self) -> LaneResult:
+        """Drive the lane's sessions, annotate, finalize, reduce."""
+        # Deferred: repro.trace.interleave reaches this package's
+        # machinery through the workload engine, so a module-level
+        # import would be circular through the package __init__ chain.
+        from repro.trace.interleave import InterleavedScheduler
+
+        examples: list[tuple[int, SessionExample]] = []
+
+        def session_done(record: SessionRecord) -> None:
+            self._annotate(record)
+
+        handler = self.node.handle
+        if self._taps:
+            # Lane traffic bypasses ProxyNetwork.handle; fire the
+            # network's taps (trace recorders) per exchange here.
+            def handler(request, _handle=self.node.handle):
+                response = _handle(request)
+                for tap in self._taps:
+                    tap(request, response)
+                return response
+
+        scheduler = InterleavedScheduler(
+            handler,
+            budget=self._budget,
+            collect_features=self._collect_features,
+            housekeeping=self.node.housekeeping,
+            housekeeping_interval=self._interval,
+        )
+        records = scheduler.run(
+            self._agents, self._starts, on_session_end=session_done
+        )
+        indexed_records = list(zip(self._indices, records))
+        for index, record in indexed_records:
+            if record.example is not None:
+                examples.append((index, record.example))
+
+        self.node.detection.finalize()
+        return LaneResult(
+            lane=self.lane,
+            stats=self.node.stats,
+            sessions=self.node.detection.tracker.analyzable(),
+            latencies=self.node.detection.detection_latencies(),
+            handled=sum(record.requests for record in records),
+            records=indexed_records,
+            examples=examples,
+            captcha_stats=self._captcha.stats,
+        )
+
+    def _annotate(self, record: SessionRecord) -> None:
+        # Mirror of WorkloadEngine._annotate_session, node-local.  The
+        # CAPTCHA stream is split per client IP from the engine's base
+        # stream, so outcomes are identical whichever lane (or process)
+        # the session ran in.
+        state = self.node.detection.tracker.get(
+            record.client_ip, record.user_agent
+        )
+        if state is None:
+            return
+        state.true_label = record.true_label
+        state.agent_kind = record.agent_kind
+        if not self._captcha_enabled:
+            return
+        outcome = self._captcha.run_for_session(
+            self._captcha_rng.split(f"captcha-{record.client_ip}"),
+            is_human=record.true_label == "human",
+        )
+        if outcome is CaptchaOutcome.PASSED:
+            self.node.detection.note_captcha(state, True, record.ended_at)
+        elif outcome is CaptchaOutcome.FAILED:
+            self.node.detection.note_captcha(state, False, record.ended_at)

@@ -83,6 +83,11 @@ class InstrumentationRegistry:
 
     # -- registration -----------------------------------------------------
 
+    @property
+    def has_listeners(self) -> bool:
+        """Whether any registration observers are attached."""
+        return bool(self._listeners)
+
     def add_listener(
         self, listener: Callable[[RegisteredProbe], None]
     ) -> None:

@@ -37,6 +37,9 @@ class NetworkStats:
     bytes_served: int = 0
     beacon_bytes_served: int = 0
     instrumentation_markup_bytes: int = 0
+    #: Ingress admission accounting (see NodeStats.queued / .shed).
+    queued: int = 0
+    shed: int = 0
 
     @property
     def beacon_bandwidth_fraction(self) -> float:
@@ -64,6 +67,8 @@ class NetworkStats:
         self.bytes_served += node.bytes_served
         self.beacon_bytes_served += node.beacon_bytes_served
         self.instrumentation_markup_bytes += node.instrumentation_markup_bytes
+        self.queued += node.queued
+        self.shed += node.shed
 
 
 class ProxyNetwork:
@@ -110,6 +115,16 @@ class ProxyNetwork:
         for node in self.nodes:
             node.close_detection()
 
+    @property
+    def taps(self) -> tuple[Callable[[Request, Response], None], ...]:
+        """The attached traffic observers (read-only view).
+
+        The pipelined ingress forwards these to its lane workers — lane
+        traffic never passes through :meth:`handle`, so the workers
+        must fire the taps themselves.
+        """
+        return tuple(self._taps)
+
     def add_tap(self, tap: Callable[[Request, Response], None]) -> None:
         """Observe every request/response pair :meth:`handle` processes.
 
@@ -124,13 +139,22 @@ class ProxyNetwork:
         if tap in self._taps:
             self._taps.remove(tap)
 
-    def node_for(self, client_ip: str) -> ProxyNode:
-        """Sticky node assignment by stable hash of the client IP."""
+    def node_index_for(self, client_ip: str) -> int:
+        """Sticky node index by stable hash of the client IP.
+
+        This is also the ingress lane assignment: a node is the unit of
+        self-contained mutable state (detection shards, probe registry,
+        cache, rate buckets), so partitioning arrivals by node index is
+        what lets lanes run on threads or processes without sharing.
+        """
         digest = hashlib.blake2b(
             client_ip.encode("utf-8"), digest_size=4
         ).digest()
-        index = int.from_bytes(digest, "little") % len(self.nodes)
-        return self.nodes[index]
+        return int.from_bytes(digest, "little") % len(self.nodes)
+
+    def node_for(self, client_ip: str) -> ProxyNode:
+        """Sticky node assignment by stable hash of the client IP."""
+        return self.nodes[self.node_index_for(client_ip)]
 
     def handle(self, request: Request) -> Response:
         """Route a request to its node and process it."""

@@ -47,6 +47,12 @@ class NodeStats:
     bytes_served: int = 0
     beacon_bytes_served: int = 0
     instrumentation_markup_bytes: int = 0
+    #: Ingress admission accounting (zero outside pipelined runs):
+    #: events admitted onto this node's lane queue, and events the
+    #: load-shedding policy refused — kept here so Table-1-style
+    #: aggregates still balance when the ingress sheds under overload.
+    queued: int = 0
+    shed: int = 0
 
     @property
     def beacon_bandwidth_fraction(self) -> float:
@@ -109,6 +115,18 @@ class ProxyNode:
 
     def handle(self, request: Request) -> Response:
         """Process one client request end to end."""
+        return self.handle_traced(request)[0]
+
+    def handle_traced(
+        self, request: Request
+    ) -> tuple[Response, RequestOutcome | None]:
+        """Process one request, also exposing the detection outcome.
+
+        The outcome is what ingress-side consumers (the micro-batched
+        session scorer) key their per-session state on; it is ``None``
+        when the request never reached the detection pipeline (rate
+        limited at the front door).
+        """
         self.stats.requests += 1
         now = request.timestamp
 
@@ -116,7 +134,7 @@ class ProxyNode:
             request.client_ip, now
         ):
             self.stats.rate_limited += 1
-            return error_response(503, "rate limited")
+            return error_response(503, "rate limited"), None
 
         outcome = self.detection.handle_request(request)
 
@@ -124,19 +142,19 @@ class ProxyNode:
             self.stats.policy_blocked += 1
             response = error_response(403, "blocked by robot policy")
             self._account(outcome, response, beacon=False)
-            return response
+            return response, outcome
 
         if outcome.hit is not None:
             response = beacon_response(outcome.hit)
             self.stats.beacon_requests += 1
             self._account(outcome, response, beacon=True)
-            return response
+            return response, outcome
 
         cached = self.cache.lookup(request, now)
         if cached is not None:
             self.stats.cache_hits += 1
             self._account(outcome, cached, beacon=False)
-            return cached
+            return cached, outcome
 
         response = self._forward(request)
         self.cache.store(request, response, now)
@@ -150,7 +168,7 @@ class ProxyNode:
             response = self._instrument(request, response)
 
         self._account(outcome, response, beacon=False)
-        return response
+        return response, outcome
 
     # -- internals ----------------------------------------------------------
 

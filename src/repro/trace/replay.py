@@ -24,15 +24,20 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Union
 
 from repro.detection.online import DetectionLatency
 from repro.detection.session import SessionState
 from repro.detection.set_algebra import SetAlgebraSummary
+from repro.ml.batch import BatchVerdict
 from repro.proxy.network import NetworkStats, ProxyNetwork
 from repro.trace.clf import ParseStats, TraceRecord, read_trace
 from repro.trace.recorder import ProbeRecord, read_probe_journal
 from repro.workload.results import SessionCensus, apply_session_identities
+
+if TYPE_CHECKING:  # imported lazily at run time (package-cycle-free)
+    from repro.ingress.batcher import MicroBatchConfig
+    from repro.ml.adaboost import AdaBoostModel
 
 TraceSource = Union[str, Iterable[TraceRecord]]
 ProbeSource = Union[str, Iterable[ProbeRecord]]
@@ -54,6 +59,15 @@ class ReplayConfig:
     many shards before the first event (0 keeps the network as built);
     ``shard_workers`` sizes the optional executor behind the shards'
     batch and housekeeping paths.
+
+    ``executor`` switches the replay from the synchronous one-request-
+    at-a-time loop to the pipelined ingress: events stream onto bounded
+    per-lane queues (one lane per node, ``queue_depth`` events each,
+    None = unbounded) consumed by ``serial``/``thread``/``process`` lane
+    executors.  Results are bit-identical to the synchronous loop unless
+    ``shed`` opts the full-queue behaviour into counted load shedding.
+    ``scorer_model`` additionally micro-batches §4.2 ensemble scoring
+    per lane under the ``batch`` count/latency budgets.
     """
 
     housekeeping_interval: float = 600.0
@@ -62,6 +76,11 @@ class ReplayConfig:
     strict: bool = False
     shards: int = 0
     shard_workers: int | None = None
+    executor: str | None = None
+    queue_depth: int | None = None
+    shed: bool = False
+    scorer_model: "AdaBoostModel | None" = None
+    batch: "MicroBatchConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.housekeeping_interval < 0:
@@ -70,6 +89,20 @@ class ReplayConfig:
             raise ValueError("shards must be non-negative")
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ValueError("shard_workers must be >= 1 when given")
+        if self.executor is not None:
+            from repro.ingress.executors import EXECUTOR_KINDS
+
+            if self.executor not in EXECUTOR_KINDS:
+                raise ValueError(
+                    f"executor must be one of {EXECUTOR_KINDS}, "
+                    f"got {self.executor!r}"
+                )
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ValueError(
+                "queue_depth must be >= 1 (or None for unbounded)"
+            )
+        if self.shed and self.executor is None:
+            raise ValueError("shed requires a pipelined executor")
 
 
 @dataclass
@@ -84,6 +117,9 @@ class ReplayResult(SessionCensus):
     probes_loaded: int = 0
     first_timestamp: float = 0.0
     last_timestamp: float = 0.0
+    #: Micro-batched ensemble verdicts, when the pipelined replay ran
+    #: with a scorer model attached (empty otherwise).
+    ml_verdicts: list[BatchVerdict] = field(default_factory=list)
     #: Trace-file and probe-journal parse accounting, kept separate so
     #: journal corruption is never misreported as access-log damage.
     parse_stats: ParseStats = field(default_factory=ParseStats)
@@ -142,6 +178,8 @@ class TraceReplayEngine:
         *sources: TraceSource,
         probes: ProbeSource | None = None,
     ) -> ReplayResult:
+        if self._config.executor is not None:
+            return self._replay_pipelined(*sources, probes=probes)
         cfg = self._config
         parse_stats = ParseStats()
         probe_parse_stats = ParseStats()
@@ -214,6 +252,95 @@ class TraceReplayEngine:
         result.first_timestamp = first or 0.0
         result.last_timestamp = last or 0.0
         return result
+
+    def _replay_pipelined(
+        self,
+        *sources: TraceSource,
+        probes: ProbeSource | None = None,
+    ) -> ReplayResult:
+        """The ingress path: stream events onto per-lane queues.
+
+        Same heap-merged event order as the synchronous loop — but the
+        loop only *admits*; per-node processing happens on the lanes'
+        executors.  Probe-journal registrations are admitted with
+        ``force`` (key material is never shed) and ride the same lane
+        queue as their IP's requests, which preserves the registration-
+        before-fetch ordering the probe table depends on.
+        """
+        # Deferred import: repro.trace's package init imports this
+        # module, and the ingress package imports trace machinery.
+        from repro.ingress.batcher import MicroBatchConfig
+        from repro.ingress.pipeline import (
+            IngressConfig,
+            IngressPipeline,
+            replay_workers,
+        )
+        from repro.ingress.queues import ShedPolicy
+        from repro.ingress.workers import PROBE_EVENT, REQUEST_EVENT
+
+        cfg = self._config
+        parse_stats = ParseStats()
+        probe_parse_stats = ParseStats()
+
+        streams = [
+            self._events(
+                self._trace_records(src, parse_stats), _REQUEST_EVENT, index
+            )
+            for index, src in enumerate(sources)
+        ]
+        if probes is not None:
+            streams.append(
+                self._events(
+                    self._probe_records(probes, probe_parse_stats),
+                    _PROBE_EVENT,
+                    len(streams),
+                )
+            )
+
+        ingress_config = IngressConfig(
+            executor=cfg.executor or "serial",
+            queue_depth=cfg.queue_depth,
+            policy=ShedPolicy.SHED if cfg.shed else ShedPolicy.BLOCK,
+            housekeeping_interval=cfg.housekeeping_interval,
+            batch=cfg.batch or MicroBatchConfig(),
+            scorer_model=cfg.scorer_model,
+        )
+        pipeline = IngressPipeline(
+            self._network,
+            replay_workers(self._network, ingress_config),
+            ingress_config,
+        )
+
+        identities: dict[tuple[str, str], tuple[str, str]] = {}
+        for _time, priority, _stream, _seq, item in heapq.merge(*streams):
+            if priority == _PROBE_EVENT:
+                pipeline.submit(
+                    (PROBE_EVENT, item), item.client_ip, force=True
+                )
+                continue
+            if item.agent_kind or item.true_label:
+                identities[(item.client_ip, item.user_agent)] = (
+                    item.agent_kind,
+                    item.true_label,
+                )
+            pipeline.submit((REQUEST_EVENT, item), item.client_ip)
+
+        ingress = pipeline.close()
+        sessions = ingress.sessions
+        apply_session_identities(sessions, identities)
+        return ReplayResult(
+            sessions=sessions,
+            summary=ingress.session_sets().summary(),
+            stats=ingress.stats,
+            latencies=ingress.latencies,
+            requests_replayed=ingress.handled,
+            probes_loaded=ingress.probes_loaded,
+            first_timestamp=ingress.first_timestamp,
+            last_timestamp=ingress.last_timestamp,
+            parse_stats=parse_stats,
+            probe_parse_stats=probe_parse_stats,
+            ml_verdicts=ingress.ml_verdicts,
+        )
 
     # -- stream plumbing ----------------------------------------------------
 

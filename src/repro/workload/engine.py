@@ -47,7 +47,7 @@ __all__ = [
     "WorkloadResult",
 ]
 
-_MODES = ("sequential", "interleaved")
+_MODES = ("sequential", "interleaved", "pipelined")
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,15 @@ class WorkloadConfig:
     ``shards`` > 0 hash-partitions each node's detection state into that
     many shards before traffic starts (0 keeps the network as built);
     shard count never changes results, only the scaling architecture.
+
+    ``mode="pipelined"`` admits sessions through the ingress subsystem:
+    sessions are routed by their client IP's sticky node onto per-lane
+    queues (``queue_depth`` bounds each, None = unbounded) and every
+    lane drives its own sessions in event-time order on the configured
+    ``executor`` — ``serial``, ``thread``, or a true-parallel
+    ``process`` pool.  Census, summary and verdicts are identical to
+    ``mode="interleaved"``; only within-node request order is defined,
+    which is exactly the order that affects any state.
     """
 
     n_sessions: int = 1000
@@ -75,6 +84,8 @@ class WorkloadConfig:
     housekeeping_interval: float = 600.0
     shards: int = 0
     shard_workers: int | None = None
+    executor: str = "serial"
+    queue_depth: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
@@ -91,6 +102,17 @@ class WorkloadConfig:
             raise ValueError("shards must be non-negative")
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ValueError("shard_workers must be >= 1 when given")
+        from repro.ingress.executors import EXECUTOR_KINDS
+
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.executor!r}"
+            )
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ValueError(
+                "queue_depth must be >= 1 (or None for unbounded)"
+            )
 
 
 class WorkloadEngine:
@@ -143,6 +165,9 @@ class WorkloadEngine:
         starts = cfg.arrival.sample(
             self._rng.split("starts"), len(agents), cfg.duration
         )
+
+        if cfg.mode == "pipelined":
+            return self._run_pipelined(agents, starts)
 
         captcha = CaptchaService(cfg.captcha)
         captcha_rng = self._rng.split("captcha")
@@ -204,6 +229,84 @@ class WorkloadEngine:
                 self._network.housekeeping(clock)
                 last_sweep = clock
         return records
+
+    def _run_pipelined(self, agents, starts) -> WorkloadResult:
+        """Admit sessions through the ingress; lanes drive their own.
+
+        Ground-truth annotation and the CAPTCHA funnel run inside the
+        lane workers (per-IP RNG splits make the outcomes identical to
+        the other modes), so this path assembles the result purely from
+        the merged lane outputs — which is what lets the ``process``
+        executor run each node in a separate interpreter.
+        """
+        # Deferred import: the ingress package reaches back into
+        # workload machinery (session records, the scheduler).
+        from repro.ingress.pipeline import IngressConfig, IngressPipeline
+        from repro.ingress.workers import SESSION_EVENT, WorkloadLaneWorker
+
+        cfg = self._config
+        captcha_rng = self._rng.split("captcha")
+        workers = [
+            WorkloadLaneWorker(
+                lane,
+                node,
+                budget=cfg.budget,
+                collect_features=cfg.collect_features,
+                housekeeping_interval=cfg.housekeeping_interval,
+                captcha_enabled=cfg.captcha_enabled,
+                captcha_config=cfg.captcha,
+                captcha_rng=captcha_rng,
+                taps=self._network.taps,
+            )
+            for lane, node in enumerate(self._network.nodes)
+        ]
+        pipeline = IngressPipeline(
+            self._network,
+            workers,
+            IngressConfig(
+                executor=cfg.executor,
+                queue_depth=cfg.queue_depth,
+                housekeeping_interval=cfg.housekeeping_interval,
+            ),
+        )
+        for index, (agent, start) in enumerate(zip(agents, starts)):
+            pipeline.submit(
+                (SESSION_EVENT, index, agent, start), agent.client_ip
+            )
+        ingress = pipeline.close()
+
+        indexed_records = sorted(
+            (pair for lane in ingress.lanes for pair in lane.records or ()),
+            key=lambda pair: pair[0],
+        )
+        records = [record for _index, record in indexed_records]
+        examples = [
+            example
+            for _index, example in sorted(
+                (
+                    pair
+                    for lane in ingress.lanes
+                    for pair in lane.examples or ()
+                ),
+                key=lambda pair: pair[0],
+            )
+        ]
+        captcha = CaptchaService(cfg.captcha)
+        for lane in ingress.lanes:
+            if lane.captcha_stats is not None:
+                captcha.stats.absorb(lane.captcha_stats)
+
+        sessions = ingress.sessions
+        apply_session_identities(sessions, session_identities(records))
+        return WorkloadResult(
+            records=records,
+            sessions=sessions,
+            summary=ingress.session_sets().summary(),
+            stats=ingress.stats,
+            latencies=ingress.latencies,
+            dataset=Dataset(examples=examples),
+            captcha=captcha,
+        )
 
     def _run_interleaved(
         self, agents, starts, session_done

@@ -1,0 +1,113 @@
+"""LaneQueue semantics: order, bounds, backpressure, shedding, close."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.ingress.queues import CLOSED, LaneQueue, QueueClosed
+
+
+class TestLaneQueueBasics:
+    def test_fifo_order(self):
+        queue = LaneQueue()
+        for item in range(10):
+            assert queue.put(item)
+        assert [queue.get() for _ in range(10)] == list(range(10))
+
+    def test_unbounded_never_sheds(self):
+        queue = LaneQueue(depth=None)
+        for item in range(10_000):
+            assert queue.put(item, block=False)
+        assert queue.shed == 0
+        assert queue.enqueued == 10_000
+        assert queue.high_watermark == 10_000
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            LaneQueue(depth=0)
+        with pytest.raises(ValueError):
+            LaneQueue(depth=-3)
+
+    def test_len_and_watermark(self):
+        queue = LaneQueue(depth=8)
+        for item in range(5):
+            queue.put(item)
+        assert len(queue) == 5
+        queue.get()
+        assert len(queue) == 4
+        assert queue.high_watermark == 5
+
+
+class TestShedding:
+    def test_full_queue_sheds_when_not_blocking(self):
+        queue = LaneQueue(depth=2)
+        assert queue.put("a", block=False)
+        assert queue.put("b", block=False)
+        assert not queue.put("c", block=False)
+        assert not queue.put("d", block=False)
+        assert queue.shed == 2
+        assert queue.enqueued == 2
+        # Shed items are refused, never enqueued: order is preserved.
+        assert queue.get() == "a"
+        assert queue.put("e", block=False)
+        assert [queue.get(), queue.get()] == ["b", "e"]
+
+
+class TestBackpressure:
+    def test_blocking_put_waits_for_space(self):
+        queue = LaneQueue(depth=1)
+        queue.put("first")
+        admitted = []
+
+        def producer():
+            queue.put("second")  # blocks until the consumer takes one
+            admitted.append(True)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted  # still blocked
+        assert queue.get() == "first"
+        thread.join(timeout=5.0)
+        assert admitted
+        assert queue.get() == "second"
+        assert queue.shed == 0
+
+
+class TestClose:
+    def test_get_drains_then_reports_closed(self):
+        queue = LaneQueue()
+        queue.put(1)
+        queue.put(2)
+        queue.close()
+        assert queue.get() == 1
+        assert queue.get() == 2
+        assert queue.get() is CLOSED
+        assert queue.get() is CLOSED
+
+    def test_put_after_close_raises(self):
+        queue = LaneQueue()
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(1)
+
+    def test_close_unblocks_waiting_producer(self):
+        queue = LaneQueue(depth=1)
+        queue.put("only")
+        errors = []
+
+        def producer():
+            try:
+                queue.put("blocked")
+            except QueueClosed:
+                errors.append("closed")
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert errors == ["closed"]

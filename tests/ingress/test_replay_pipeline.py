@@ -1,0 +1,327 @@
+"""Ingress determinism: executors and queue depths never change results.
+
+The acceptance matrix: census, set-algebra summary, per-session verdicts
+and network stats must be byte-identical across ``{serial, thread,
+process}`` executors × queue depths ``{1, 16, unbounded}`` on the same
+recorded trace — and identical to the synchronous replay loop.  Load
+shedding must be visible in the stats, never silent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.detection.online import OnlineClassifier
+from repro.ingress.batcher import MicroBatchConfig
+from repro.ingress.frontend import AsyncIngress, ThreadedDriver
+from repro.ingress.pipeline import (
+    IngressConfig,
+    IngressPipeline,
+    replay_workers,
+)
+from repro.ingress.workers import PROBE_EVENT, REQUEST_EVENT
+from repro.ml.adaboost import AdaBoostModel
+from repro.ml.stump import DecisionStump
+from repro.proxy.network import ProxyNetwork
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import ReplayConfig, TraceReplayEngine
+from repro.util.rng import RngStream
+from repro.workload.engine import WorkloadConfig, WorkloadEngine
+from repro.workload.mixes import SMOKE
+
+N_SESSIONS = 50
+SEED = 71
+
+
+def _verdicts(result):
+    classifier = OnlineClassifier()
+    return {
+        (s.key.client_ip, s.key.user_agent, s.started_at): (
+            classifier.classify_final(s).label,
+            s.request_count,
+            s.true_label,
+            s.agent_kind,
+        )
+        for s in result.sessions
+    }
+
+
+def _without_admission(stats):
+    return dataclasses.replace(stats, queued=0, shed=0)
+
+
+def _scorer_model() -> AdaBoostModel:
+    rng = np.random.default_rng(23)
+    model = AdaBoostModel(n_features=12)
+    for _ in range(20):
+        model.stumps.append(
+            DecisionStump(
+                feature=int(rng.integers(12)),
+                threshold=float(rng.uniform(0, 40)),
+                polarity=int(rng.choice((-1, 1))),
+            )
+        )
+        model.alphas.append(float(rng.uniform(0.05, 1.0)))
+    model.compile()
+    return model
+
+
+@pytest.fixture(scope="module")
+def recorded(small_origin, small_site):
+    """A recorded trace + probe journal shared by every matrix cell."""
+    network = ProxyNetwork(
+        origins={small_site.host: small_origin},
+        rng=RngStream(SEED, "net"),
+        n_nodes=3,
+    )
+    recorder = TraceRecorder()
+    recorder.attach(network)
+    result = WorkloadEngine(
+        network,
+        SMOKE,
+        f"http://{small_site.host}{small_site.home_path}",
+        RngStream(SEED, "wl"),
+        WorkloadConfig(n_sessions=N_SESSIONS, captcha_enabled=False),
+    ).run()
+    recorder.detach(network)
+    recorder.annotate_ground_truth(result.records)
+    return recorder.sorted_records(), recorder.sorted_probes()
+
+
+def _replay(recorded, **config_kwargs):
+    records, probes = recorded
+    network = ProxyNetwork(
+        origins={},
+        rng=RngStream(0, "replay"),
+        n_nodes=3,
+        instrument_enabled=False,
+    )
+    engine = TraceReplayEngine(
+        network, ReplayConfig(assume_sorted=True, **config_kwargs)
+    )
+    return engine.replay(list(records), probes=list(probes))
+
+
+class TestExecutorDeterminism:
+    @pytest.fixture(scope="class")
+    def baseline(self, recorded):
+        return _replay(recorded)
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("depth", [1, 16, None])
+    def test_matrix_matches_synchronous_loop(
+        self, recorded, baseline, executor, depth
+    ):
+        result = _replay(recorded, executor=executor, queue_depth=depth)
+        assert result.summary == baseline.summary
+        assert result.kind_census() == baseline.kind_census()
+        assert _verdicts(result) == _verdicts(baseline)
+        assert result.requests_replayed == baseline.requests_replayed
+        assert result.probes_loaded == baseline.probes_loaded
+        assert result.first_timestamp == baseline.first_timestamp
+        assert result.last_timestamp == baseline.last_timestamp
+        # Stats are byte-identical apart from the admission counters
+        # the synchronous loop does not have.
+        assert _without_admission(result.stats) == baseline.stats
+        records, probes = recorded
+        assert result.stats.queued == len(records) + len(probes)
+        assert result.stats.shed == 0
+
+    def test_sharded_lanes_agree_too(self, recorded, baseline):
+        result = _replay(
+            recorded, executor="process", queue_depth=16, shards=4
+        )
+        assert result.summary == baseline.summary
+        assert result.kind_census() == baseline.kind_census()
+        assert _verdicts(result) == _verdicts(baseline)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_micro_batched_scoring_deterministic(self, recorded, executor):
+        model = _scorer_model()
+        batch = MicroBatchConfig(max_batch=32, max_delay=1800.0)
+        reference = _replay(
+            recorded, executor="serial", scorer_model=model, batch=batch
+        )
+        assert reference.ml_verdicts  # the scorer actually ran
+        result = _replay(
+            recorded,
+            executor=executor,
+            queue_depth=16,
+            scorer_model=model,
+            batch=batch,
+        )
+        assert [
+            (v.session_id, v.margin) for v in result.ml_verdicts
+        ] == [(v.session_id, v.margin) for v in reference.ml_verdicts]
+
+
+class TestLoadShedding:
+    def test_shed_is_counted_never_silent(self, recorded):
+        records, probes = recorded
+        result = _replay(
+            recorded, executor="thread", queue_depth=1, shed=True
+        )
+        stats = result.stats
+        # Every arrival is accounted for: queued xor shed...
+        assert stats.queued + stats.shed == len(records) + len(probes)
+        # ...and everything queued was actually handled.
+        assert result.requests_replayed + result.probes_loaded == stats.queued
+        # Probe-journal key material is never shed.
+        assert result.probes_loaded == len(probes)
+
+    def test_shed_requires_pipelined_executor(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(shed=True)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReplayConfig(executor="fiber")
+        with pytest.raises(ValueError):
+            ReplayConfig(queue_depth=0)
+
+
+class TestFrontends:
+    def _pipeline(self, executor="thread", queue_depth=8):
+        network = ProxyNetwork(
+            origins={},
+            rng=RngStream(0, "replay"),
+            n_nodes=3,
+            instrument_enabled=False,
+        )
+        config = IngressConfig(executor=executor, queue_depth=queue_depth)
+        return IngressPipeline(
+            network, replay_workers(network, config), config
+        )
+
+    @staticmethod
+    def _events(recorded):
+        """Timestamp-interleaved event stream (probes before requests
+        at equal times), the order the replay engine admits in."""
+        records, probes = recorded
+        merged = [
+            (probe.issued_at, 0, (PROBE_EVENT, probe), probe.client_ip)
+            for probe in probes
+        ] + [
+            (record.timestamp, 1, (REQUEST_EVENT, record), record.client_ip)
+            for record in records
+        ]
+        merged.sort(key=lambda entry: (entry[0], entry[1]))
+        for _time, _priority, event, client_ip in merged:
+            yield event, client_ip
+
+    def test_async_frontend_matches_synchronous(self, recorded):
+        baseline = _replay(recorded)
+
+        async def drive():
+            ingress = await AsyncIngress(self._pipeline()).start()
+            for event, client_ip in self._events(recorded):
+                await ingress.submit(event, client_ip)
+            return await ingress.close()
+
+        result = asyncio.run(drive())
+        assert result.session_sets().summary() == baseline.summary
+        assert result.handled == baseline.requests_replayed
+        assert result.probes_loaded == baseline.probes_loaded
+
+    def test_threaded_driver_matches_synchronous(self, recorded):
+        baseline = _replay(recorded)
+        driver = ThreadedDriver(self._pipeline(executor="serial"))
+        result = driver.start(self._events(recorded)).join()
+        assert result.session_sets().summary() == baseline.summary
+        assert result.handled == baseline.requests_replayed
+
+    def test_async_frontend_surfaces_worker_failure(self):
+        """A pump-task death must raise, never strand producers on a
+        full hand-off queue."""
+
+        class ExplodingWorker:
+            def process(self, event):
+                raise RuntimeError("lane blew up")
+
+            def finish(self):
+                return None
+
+        network = ProxyNetwork(
+            origins={},
+            rng=RngStream(0, "replay"),
+            n_nodes=1,
+            instrument_enabled=False,
+        )
+        config = IngressConfig(executor="serial")
+        pipeline = IngressPipeline(network, [ExplodingWorker()], config)
+
+        async def drive():
+            ingress = await AsyncIngress(
+                pipeline, max_pending=4
+            ).start()
+            for index in range(64):  # far beyond max_pending
+                await ingress.submit(("request", index), "10.0.0.1")
+            return await ingress.close()
+
+        with pytest.raises(RuntimeError, match="admission failed"):
+            asyncio.run(drive())
+
+    def test_pipeline_rejects_double_close(self):
+        pipeline = self._pipeline(executor="serial")
+        pipeline.close()
+        with pytest.raises(RuntimeError):
+            pipeline.close()
+        with pytest.raises(RuntimeError):
+            pipeline.submit(("request", None), "10.0.0.1")
+
+
+class TestBatcherTrackerAlignment:
+    def test_eviction_window_clamped_to_tracker_timeout(self):
+        """A batcher must never evict an accumulator for a session the
+        tracker still considers live — else a returning session keeps
+        its id but restarts from an empty feature history."""
+        from repro.detection.service import DetectionService
+        from repro.ingress.workers import ReplayLaneWorker
+        from repro.instrument.keys import InstrumentationRegistry
+        from repro.proxy.node import ProxyNode
+        from repro.util.timeutil import HOUR
+
+        node = ProxyNode(
+            node_id="node-test",
+            origins={},
+            rng=RngStream(1, "node"),
+            detection=DetectionService(
+                InstrumentationRegistry(), idle_timeout=4 * HOUR
+            ),
+        )
+        worker = ReplayLaneWorker(
+            0,
+            node,
+            scorer_model=_scorer_model(),
+            batch=MicroBatchConfig(idle_timeout=60.0),
+        )
+        assert worker._batcher._config.idle_timeout == 4 * HOUR
+
+
+class TestPicklableLaneState:
+    def test_node_with_live_shard_executor_pickles(
+        self, small_origin, small_site
+    ):
+        network = ProxyNetwork(
+            origins={small_site.host: small_origin},
+            rng=RngStream(3, "net"),
+            n_nodes=1,
+            detection_shards=4,
+        )
+        node = network.nodes[0]
+        network.shard_detection(4, max_workers=2)
+        # Force the lazy thread pool into existence, then pickle.
+        node.detection.map_shards(lambda shard: shard.tracker.live_count)
+        assert node.detection._executor is not None
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone.detection._executor is None
+        assert clone.detection.n_shards == 4
+        # The revived service still works (executor recreated lazily).
+        assert clone.detection.map_shards(
+            lambda shard: shard.tracker.live_count
+        ) == [0, 0, 0, 0]

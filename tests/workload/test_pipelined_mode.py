@@ -1,0 +1,205 @@
+"""``mode="pipelined"``: ingress-driven workloads match the interleaved
+engine, on every executor and queue depth."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.detection.online import OnlineClassifier
+from repro.proxy.network import ProxyNetwork
+from repro.util.rng import RngStream
+from repro.workload.engine import WorkloadConfig, WorkloadEngine
+from repro.workload.mixes import SMOKE
+
+N_SESSIONS = 50
+SEED = 37
+
+
+def _run(make_network, entry_url, mode, **config_kwargs):
+    network = make_network(n_nodes=3, seed=SEED)
+    engine = WorkloadEngine(
+        network,
+        SMOKE,
+        entry_url,
+        RngStream(SEED, "wl"),
+        WorkloadConfig(
+            n_sessions=N_SESSIONS, mode=mode, **config_kwargs
+        ),
+    )
+    return engine.run()
+
+
+def _verdicts(result):
+    classifier = OnlineClassifier()
+    return {
+        (s.key.client_ip, s.key.user_agent, s.started_at): (
+            classifier.classify_final(s).label,
+            s.request_count,
+            s.true_label,
+        )
+        for s in result.sessions
+    }
+
+
+class TestPipelinedMode:
+    @pytest.fixture(scope="class")
+    def interleaved(self, small_origin, small_site):
+        # Built directly from the session-scoped site fixtures so the
+        # reference run is computed once for the whole matrix.
+        def make(n_nodes=3, seed=SEED, **kwargs):
+            return ProxyNetwork(
+                origins={small_site.host: small_origin},
+                rng=RngStream(seed, "net"),
+                n_nodes=n_nodes,
+                **kwargs,
+            )
+
+        entry = f"http://{small_site.host}{small_site.home_path}"
+        return _run(make, entry, "interleaved")
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("depth", [1, None])
+    def test_matches_interleaved(
+        self, make_network, entry_url, interleaved, executor, depth
+    ):
+        result = _run(
+            make_network,
+            entry_url,
+            "pipelined",
+            executor=executor,
+            queue_depth=depth,
+        )
+        assert result.summary == interleaved.summary
+        assert result.kind_census() == interleaved.kind_census()
+        assert _verdicts(result) == _verdicts(interleaved)
+        assert result.captcha.stats == interleaved.captcha.stats
+        assert len(result.records) == len(interleaved.records)
+        # Byte-identical node counters; only the admission counters are
+        # new (one queued entry per admitted session).
+        assert (
+            dataclasses.replace(result.stats, queued=0, shed=0)
+            == interleaved.stats
+        )
+        assert result.stats.queued == N_SESSIONS
+        assert result.stats.shed == 0
+
+    def test_records_keep_submission_order(
+        self, make_network, entry_url, interleaved
+    ):
+        result = _run(
+            make_network, entry_url, "pipelined", executor="process"
+        )
+        assert [
+            (r.client_ip, r.user_agent) for r in result.records
+        ] == [
+            (r.client_ip, r.user_agent) for r in interleaved.records
+        ]
+
+    def test_feature_collection_survives_process_lanes(
+        self, make_network, entry_url
+    ):
+        reference = _run(
+            make_network, entry_url, "interleaved", collect_features=True,
+        )
+        result = _run(
+            make_network,
+            entry_url,
+            "pipelined",
+            executor="process",
+            collect_features=True,
+        )
+        assert len(result.dataset.examples) == len(
+            reference.dataset.examples
+        )
+        by_id = {
+            example.session_id: example
+            for example in reference.dataset.examples
+        }
+        for example in result.dataset.examples:
+            reference_example = by_id[example.session_id]
+            assert example.label == reference_example.label
+            assert (example.final == reference_example.final).all()
+
+    def test_sharded_detection_composes(self, make_network, entry_url):
+        baseline = _run(make_network, entry_url, "interleaved")
+        result = _run(
+            make_network,
+            entry_url,
+            "pipelined",
+            executor="thread",
+            shards=4,
+        )
+        assert result.summary == baseline.summary
+        assert _verdicts(result) == _verdicts(baseline)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(executor="fiber")
+        with pytest.raises(ValueError):
+            WorkloadConfig(queue_depth=0)
+
+
+class TestPipelinedRecording:
+    """Lane traffic bypasses ProxyNetwork.handle, so the ingress must
+    fire the network taps itself — a silent 0-request trace was the
+    failure mode this pins down."""
+
+    def _record(self, make_network, entry_url, mode, **config_kwargs):
+        from repro.trace.recorder import TraceRecorder
+
+        network = make_network(n_nodes=3, seed=SEED)
+        recorder = TraceRecorder()
+        recorder.attach(network)
+        result = WorkloadEngine(
+            network,
+            SMOKE,
+            entry_url,
+            RngStream(SEED, "wl"),
+            WorkloadConfig(
+                n_sessions=20,
+                mode=mode,
+                captcha_enabled=False,
+                **config_kwargs,
+            ),
+        ).run()
+        recorder.detach(network)
+        return result, recorder
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_taps_fire_for_lane_traffic(
+        self, make_network, entry_url, executor
+    ):
+        reference, _ = self._record(
+            make_network, entry_url, "interleaved"
+        )
+        result, recorder = self._record(
+            make_network, entry_url, "pipelined", executor=executor
+        )
+        assert len(recorder.records) == result.stats.requests
+        assert len(recorder.records) == reference.stats.requests
+        assert recorder.probes  # registry listeners fired too
+        census = {}
+        for record in recorder.sorted_records():
+            key = (record.client_ip, record.user_agent)
+            census[key] = census.get(key, 0) + 1
+        assert sum(census.values()) == reference.stats.requests
+
+    def test_process_lanes_refuse_observers(self, make_network, entry_url):
+        from repro.trace.recorder import TraceRecorder
+
+        network = make_network(n_nodes=2, seed=SEED)
+        recorder = TraceRecorder()
+        recorder.attach(network)
+        engine = WorkloadEngine(
+            network,
+            SMOKE,
+            entry_url,
+            RngStream(SEED, "wl"),
+            WorkloadConfig(
+                n_sessions=5, mode="pipelined", executor="process"
+            ),
+        )
+        with pytest.raises(ValueError, match="process-executor lanes"):
+            engine.run()
