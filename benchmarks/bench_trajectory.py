@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Perf trajectory: pin this PR's ingress-suite numbers into the repo.
+
+Replays the 10k-session synthetic shard suite (the same trace
+``test_bench_ingress`` scales on) through the pipelined ingress and
+writes throughput (sessions/sec, requests/sec) plus peak RSS to a
+committed ``BENCH_<n>.json``.  One file per PR builds the in-repo
+trajectory ROADMAP asks for: regressions become visible as a diff, not
+just a transient CI artifact.
+
+Optionally exports the run's metrics snapshot (canonical JSON and
+Prometheus text) so CI can archive the full instrument readout next to
+the benchmark numbers::
+
+    PYTHONPATH=src python benchmarks/bench_trajectory.py \
+        --out benchmarks/BENCH_6.json \
+        --metrics-out metrics.json --prom-out metrics.prom
+
+Numbers are machine-dependent by nature; the committed file records the
+environment (python, cores) alongside them so trajectory diffs are read
+in context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+sys.path.insert(0, os.path.dirname(__file__))
+
+from test_bench_ingress import (  # noqa: E402
+    N_NODES,
+    SHARDS,
+    SUITE_SESSIONS,
+    _replay,
+    _suite_trace,
+)
+
+PR_NUMBER = 6
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sessions", type=int, default=SUITE_SESSIONS,
+        help=f"suite size in sessions (default {SUITE_SESSIONS})",
+    )
+    parser.add_argument(
+        "--executor", default="process",
+        choices=("serial", "thread", "process"),
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), f"BENCH_{PR_NUMBER}.json"
+        ),
+        help="trajectory JSON to write",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="also write the run's metrics snapshot as repro.obs JSON",
+    )
+    parser.add_argument(
+        "--prom-out", default=None,
+        help="also write the snapshot in Prometheus text format",
+    )
+    args = parser.parse_args(argv)
+
+    records = _suite_trace(args.sessions)
+    started = time.perf_counter()
+    result = _replay(records, executor=args.executor, queue_depth=4096)
+    elapsed = time.perf_counter() - started
+    assert result.requests_replayed == len(records)
+
+    # ru_maxrss is KiB on Linux.  The process executor does its work in
+    # child interpreters, so report the lane-side peak too.
+    self_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    payload = {
+        "bench": "ingress-shard-suite",
+        "pr": PR_NUMBER,
+        "sessions": args.sessions,
+        "requests": len(records),
+        "executor": args.executor,
+        "lanes": N_NODES,
+        "shards": SHARDS,
+        "elapsed_seconds": round(elapsed, 3),
+        "sessions_per_sec": round(args.sessions / elapsed, 1),
+        "requests_per_sec": round(len(records) / elapsed, 1),
+        "peak_rss_kib": self_rss,
+        "peak_lane_rss_kib": child_rss,
+        "python": platform.python_version(),
+        "cores": _cores(),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+
+    if args.metrics_out or args.prom_out:
+        from repro.obs.export import to_json, to_prometheus
+
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(to_json(result.metrics))
+                handle.write("\n")
+            print(f"wrote {args.metrics_out}")
+        if args.prom_out:
+            with open(args.prom_out, "w", encoding="utf-8") as handle:
+                handle.write(to_prometheus(result.metrics))
+            print(f"wrote {args.prom_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,9 @@ Two command families share the entry point:
 * trace commands move workloads in and out of access logs:
   ``record`` exports a synthetic workload as a Combined Log Format
   trace (plus probe journal), ``replay`` streams a trace — recorded or
-  real — through the detection pipeline.
+  real — through the detection pipeline, and ``stats`` renders a
+  metrics snapshot (``--metrics-out``) as a table, Prometheus text,
+  or canonical JSON.
 
 Examples::
 
@@ -16,7 +18,9 @@ Examples::
     python -m repro all --sessions 1000 --ml-sessions 800
     python -m repro record --out week.log.gz --probes week.keys.gz \
         --sessions 500 --mode interleaved --arrival diurnal
-    python -m repro replay --trace week.log.gz --probes week.keys.gz
+    python -m repro replay --trace week.log.gz --probes week.keys.gz \
+        --metrics-out metrics.json --flight-interval 3600
+    python -m repro stats metrics.json --format prometheus
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from repro.experiments.registry import EXPERIMENTS
 _WORKLOAD_EXPERIMENTS = ("table1", "figure2", "figure3", "overhead")
 _ML_EXPERIMENTS = ("table2", "figure4")
 
-_TRACE_COMMANDS = ("record", "replay")
+_TRACE_COMMANDS = ("record", "replay", "stats")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,6 +126,10 @@ def build_record_parser() -> argparse.ArgumentParser:
         help="per-lane ingress queue bound in events for --mode "
              "pipelined (0 = unbounded)",
     )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the run's metrics snapshot as repro.obs JSON",
+    )
     return parser
 
 
@@ -181,6 +189,55 @@ def build_replay_parser() -> argparse.ArgumentParser:
         "--shed", action="store_true",
         help="shed (and count) instead of blocking when a lane queue "
              "is full (needs --executor and --queue-depth)",
+    )
+    parser.add_argument(
+        "--score-rounds", type=int, default=0,
+        help="micro-batch ensemble scoring per lane with a seeded "
+             "demonstration model of N stumps (0 disables; needs "
+             "--executor; verdicts exercise the pipeline, they are "
+             "not trained judgements)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the run's metrics snapshot (and any flight-recorder "
+             "frames) as repro.obs JSON",
+    )
+    parser.add_argument(
+        "--flight-interval", type=float, default=0,
+        help="flight recorder: sample a metrics frame every N virtual "
+             "seconds of trace time (0 disables)",
+    )
+    return parser
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro stats``."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "Render a repro.obs metrics snapshot (written by 'repro "
+            "record/replay --metrics-out') as a human-readable table, "
+            "Prometheus text exposition, or canonical JSON."
+        ),
+    )
+    parser.add_argument(
+        "metrics",
+        help="metrics snapshot JSON file (schema repro.obs/v1)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "prometheus", "json"),
+        default="table",
+        help="output format (default table)",
+    )
+    parser.add_argument(
+        "--deterministic", action="store_true",
+        help="restrict to the deterministic domain (drop wall-clock "
+             "timings and depth gauges)",
+    )
+    parser.add_argument(
+        "--flight", action="store_true",
+        help="render each flight-recorder frame instead of the final "
+             "snapshot",
     )
     return parser
 
@@ -243,7 +300,54 @@ def run_record(argv: list[str]) -> int:
     print(f"analyzable sessions: {result.analyzable_count}")
     for kind, count in sorted(result.kind_census().items()):
         print(f"  {kind:20s} {count}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, result.metrics)
     return 0
+
+
+def _write_metrics(path: str, snapshot, flight=()) -> None:
+    """Write a snapshot (plus flight frames) as repro.obs JSON."""
+    from repro.obs.export import to_json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(snapshot, flight=flight))
+        handle.write("\n")
+    suffix = f" ({len(flight)} flight frames)" if flight else ""
+    print(f"wrote metrics snapshot{suffix} -> {path}")
+
+
+def _print_ingress_summary(metrics) -> None:
+    """Surface per-lane admission balance and cache-expiry telemetry."""
+    admitted = {
+        dict(p.labels).get("lane", "?"): p.value
+        for p in metrics.series("repro_ingress_admitted_total")
+    }
+    if admitted:
+        shed = {
+            dict(p.labels).get("lane", "?"): p.value
+            for p in metrics.series("repro_ingress_shed_total")
+        }
+        marks = {
+            dict(p.labels).get("lane", "?"): p.value
+            for p in metrics.series("repro_ingress_queue_high_watermark")
+        }
+        print("ingress lanes:")
+        for lane in sorted(admitted, key=lambda v: int(v)):
+            print(
+                f"  lane {lane}: admitted={int(admitted[lane])} "
+                f"shed={int(shed.get(lane, 0))} "
+                f"queue high-watermark={int(marks.get(lane, 0))}"
+            )
+    flushes = metrics.total("repro_batch_flush_total")
+    if flushes:
+        scored = metrics.total("repro_batch_sessions_scored_total")
+        print(
+            f"micro-batch scoring: {int(scored)} session scores in "
+            f"{int(flushes)} flushes"
+        )
+    expired = metrics.total("repro_cache_expired_total")
+    if expired:
+        print(f"cache: {int(expired)} expired entries swept")
 
 
 def run_replay(argv: list[str]) -> int:
@@ -254,6 +358,13 @@ def run_replay(argv: list[str]) -> int:
     from repro.util.timeutil import format_duration
 
     args = build_replay_parser().parse_args(argv)
+    if args.score_rounds and args.executor is None:
+        print(
+            "repro replay: --score-rounds needs --executor (micro-batch "
+            "scoring runs on the pipelined ingress lanes)",
+            file=sys.stderr,
+        )
+        return 2
     network = ProxyNetwork(
         origins={},
         rng=RngStream(0, "replay"),
@@ -270,6 +381,11 @@ def run_replay(argv: list[str]) -> int:
             executor=args.executor,
             queue_depth=args.queue_depth or None,
             shed=args.shed,
+            scorer_model=(
+                _demo_model(args.score_rounds) if args.score_rounds
+                else None
+            ),
+            flight_interval=args.flight_interval or None,
         )
     except ValueError as exc:
         print(f"repro replay: {exc}", file=sys.stderr)
@@ -323,6 +439,53 @@ def run_replay(argv: list[str]) -> int:
     print(f"human lower bound:   {summary.lower_bound:6.1%}")
     print(f"human upper bound:   {summary.upper_bound:6.1%}")
     print(f"max false positives: {summary.max_false_positive_rate:6.1%}")
+    _print_ingress_summary(result.metrics)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, result.metrics, result.flight)
+    return 0
+
+
+def _demo_model(rounds: int):
+    from repro.ml.adaboost import demo_ensemble
+
+    return demo_ensemble(rounds)
+
+
+def run_stats(argv: list[str]) -> int:
+    """Execute ``repro stats``."""
+    from repro.obs.export import (
+        render_table,
+        snapshot_from_json,
+        to_json,
+        to_prometheus,
+    )
+
+    args = build_stats_parser().parse_args(argv)
+    try:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            snapshot, flight = snapshot_from_json(handle.read())
+    except (OSError, ValueError) as exc:
+        print(f"repro stats: {exc}", file=sys.stderr)
+        return 2
+
+    if args.flight and not flight:
+        print("repro stats: snapshot has no flight frames "
+              "(replay with --flight-interval)", file=sys.stderr)
+        return 2
+
+    frames = flight if args.flight else [None]
+    for frame in frames:
+        snap = snapshot if frame is None else frame.metrics
+        if args.deterministic:
+            snap = snap.deterministic()
+        if frame is not None:
+            print(f"--- t={frame.tick:g} ---")
+        if args.format == "prometheus":
+            print(to_prometheus(snap), end="")
+        elif args.format == "json":
+            print(to_json(snap))
+        else:
+            print(render_table(snap))
     return 0
 
 
@@ -330,7 +493,11 @@ def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in _TRACE_COMMANDS:
-        runner = run_record if argv[0] == "record" else run_replay
+        runner = {
+            "record": run_record,
+            "replay": run_replay,
+            "stats": run_stats,
+        }[argv[0]]
         return runner(argv[1:])
 
     args = build_parser().parse_args(argv)

@@ -30,6 +30,7 @@ slots in without touching callers.
 from __future__ import annotations
 
 import hashlib
+import time
 from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -193,6 +194,8 @@ class ShardedDetectionService:
         self.tracker = ShardedTrackerView(self)
         self._max_workers = max_workers
         self._executor: Executor | None = None
+        self._metric_seconds: list | None = None
+        self._metric_requests: list | None = None
 
     # -- topology -----------------------------------------------------------
 
@@ -229,6 +232,45 @@ class ShardedDetectionService:
         """The shard service owning a session key."""
         return self.shards[self.shard_index_for(client_ip, user_agent)]
 
+    # -- metrics ------------------------------------------------------------
+
+    def attach_metrics(self, registry, node_id: str) -> None:
+        """Wire per-shard scoring timers and request counters.
+
+        Per-shard wall histograms (``repro_detection_seconds``) plus
+        deterministic per-shard request counters
+        (``repro_detection_requests_total``).  Instruments are shard-
+        private, so the shard-parallel paths never contend on one.
+        """
+        from repro.obs.registry import WALL_SECONDS_BUCKETS
+
+        self._metric_seconds = [
+            registry.histogram(
+                "repro_detection_seconds",
+                WALL_SECONDS_BUCKETS,
+                {"node": node_id, "shard": f"{index:02d}"},
+                wall=True,
+            )
+            for index in range(self.n_shards)
+        ]
+        self._metric_requests = [
+            registry.counter(
+                "repro_detection_requests_total",
+                {"node": node_id, "shard": f"{index:02d}"},
+            )
+            for index in range(self.n_shards)
+        ]
+
+    def _handle_on_shard(self, index: int, request: Request) -> RequestOutcome:
+        if self._metric_seconds is None:
+            return self.shards[index].handle_request(request)
+        started = time.perf_counter()
+        outcome = self.shards[index].handle_request(request)
+        self._metric_seconds[index].observe(time.perf_counter() - started)
+        assert self._metric_requests is not None
+        self._metric_requests[index].inc()
+        return outcome
+
     # -- event log ----------------------------------------------------------
 
     @property
@@ -256,9 +298,10 @@ class ShardedDetectionService:
 
     def handle_request(self, request: Request) -> RequestOutcome:
         """Run the pipeline for one request on its owning shard."""
-        return self.shard_for(
-            request.client_ip, request.user_agent
-        ).handle_request(request)
+        return self._handle_on_shard(
+            self.shard_index_for(request.client_ip, request.user_agent),
+            request,
+        )
 
     def handle_batch(
         self, requests: Sequence[Request]
@@ -287,9 +330,8 @@ class ShardedDetectionService:
             item: tuple[int, list[int]],
         ) -> list[tuple[int, RequestOutcome]]:
             shard, positions = item
-            service = self.shards[shard]
             return [
-                (position, service.handle_request(requests[position]))
+                (position, self._handle_on_shard(shard, requests[position]))
                 for position in positions
             ]
 

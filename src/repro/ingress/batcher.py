@@ -89,6 +89,38 @@ class MicroBatcher:
         self._retired: set[str] = set()
         self.verdicts: list[BatchVerdict] = []
         self.flushes = 0
+        self._flush_total = None
+        self._flush_sessions = None
+        self._flush_delay = None
+        self._pending_gauge = None
+        self._evicted_total = None
+
+    def attach_metrics(self, registry, labels=None) -> None:
+        """Wire flush-size/latency distributions into a registry.
+
+        Everything here is in the deterministic domain: flush boundaries,
+        batch sizes, coalescing delays and idle evictions are pure
+        functions of the (event-time) arrival stream.
+        """
+        from repro.obs.registry import EVENT_SECONDS_BUCKETS, SIZE_BUCKETS
+
+        self._flush_total = registry.counter("repro_batch_flush_total", labels)
+        self._flush_sessions = registry.histogram(
+            "repro_batch_flush_sessions", SIZE_BUCKETS, labels
+        )
+        self._flush_delay = registry.histogram(
+            "repro_batch_flush_delay_event_seconds",
+            EVENT_SECONDS_BUCKETS,
+            labels,
+        )
+        self._pending_gauge = registry.gauge(
+            "repro_batch_pending_sessions", labels
+        )
+        self._evicted_total = registry.counter(
+            "repro_batch_evicted_total", labels
+        )
+        if self._scorer is not None:
+            self._scorer.attach_metrics(registry, labels)
 
     @property
     def enabled(self) -> bool:
@@ -124,6 +156,8 @@ class MicroBatcher:
             self._dirty[session_id] = None
         if self._first_dirty_at is None:
             self._first_dirty_at = request.timestamp
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(len(self._dirty))
 
         cfg = self._config
         if (
@@ -136,6 +170,13 @@ class MicroBatcher:
         """Score every dirty session as one matrix; returns the batch."""
         if self._scorer is None or not self._dirty:
             return []
+        if self._flush_total is not None:
+            self._flush_total.inc()
+            self._flush_sessions.observe(len(self._dirty))
+            if self._first_dirty_at is not None:
+                self._flush_delay.observe(
+                    max(0.0, self._clock - self._first_dirty_at)
+                )
         for session_id in self._dirty:
             self._scorer.add(
                 session_id, self._accumulators[session_id].vector()
@@ -150,6 +191,8 @@ class MicroBatcher:
         self.verdicts.extend(batch)
         self.flushes += 1
         self._evict_idle()
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(len(self._dirty))
         return batch
 
     def close(self) -> list[BatchVerdict]:
@@ -191,3 +234,5 @@ class MicroBatcher:
         for session_id in stale:
             self._retired.discard(session_id)
             self._drop(session_id)
+        if self._evicted_total is not None and stale:
+            self._evicted_total.inc(len(stale))

@@ -34,6 +34,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as stdlib_queue
 import threading
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Protocol, Sequence
@@ -91,6 +92,23 @@ class LaneExecutorBase:
         """
         raise NotImplementedError
 
+    def telemetry_now(self) -> list[LaneTelemetry]:
+        """A live view of per-lane delivery counters (flight sampling)."""
+        raise NotImplementedError
+
+    def lane_depths(self) -> list[int]:
+        """Current backlog per lane, in events (0 where unobservable)."""
+        return [0] * self.n_lanes
+
+    def flush_pending(self) -> None:
+        """Push any transport-buffered events toward the lanes.
+
+        Chunking is a transport optimization and must stay invisible in
+        measurements: the flight recorder flushes before sampling so
+        admission telemetry reflects every submitted event, whatever
+        the executor batches internally.
+        """
+
 
 class SerialLaneExecutor(LaneExecutorBase):
     """Process events inline: the admission thread is the only consumer."""
@@ -106,6 +124,9 @@ class SerialLaneExecutor(LaneExecutorBase):
 
     def close(self) -> tuple[list, list[LaneTelemetry]]:
         return [worker.finish() for worker in self._workers], self._telemetry
+
+    def telemetry_now(self) -> list[LaneTelemetry]:
+        return self._telemetry
 
 
 class ThreadLaneExecutor(LaneExecutorBase):
@@ -137,7 +158,11 @@ class ThreadLaneExecutor(LaneExecutorBase):
     def submit(self, lane: int, event, force: bool = False) -> bool:
         block = force or self._policy is ShedPolicy.BLOCK
         try:
-            return self.queues[lane].put(event, block=block)
+            # Events carry their enqueue stamp so the consumer can
+            # report how long each sat in the queue (wall domain).
+            return self.queues[lane].put(
+                (time.monotonic(), event), block=block
+            )
         except QueueClosed:
             raise RuntimeError("submit() after close()") from None
 
@@ -163,15 +188,33 @@ class ThreadLaneExecutor(LaneExecutorBase):
         ]
         return results, telemetry
 
+    def telemetry_now(self) -> list[LaneTelemetry]:
+        return [
+            LaneTelemetry(
+                lane,
+                enqueued=queue.enqueued,
+                shed=queue.shed,
+                high_watermark=queue.high_watermark,
+            )
+            for lane, queue in enumerate(self.queues)
+        ]
+
+    def lane_depths(self) -> list[int]:
+        return [len(queue) for queue in self.queues]
+
     def _consume(self, lane: int) -> None:
         worker = self._workers[lane]
         queue = self.queues[lane]
+        note_wait = getattr(worker, "note_queue_wait", None)
         while True:
-            event = queue.get()
-            if event is CLOSED:
+            item = queue.get()
+            if item is CLOSED:
                 break
             if self._errors[lane] is not None:
                 continue  # keep draining so the producer never deadlocks
+            stamped_at, event = item
+            if note_wait is not None:
+                note_wait(time.monotonic() - stamped_at)
             try:
                 worker.process(event)
             except BaseException as exc:  # surfaced at close()
@@ -197,12 +240,18 @@ def _lane_child_main(lane, worker, inbox, outbox) -> None:
     at close.
     """
     error: str | None = None
+    note_wait = getattr(worker, "note_queue_wait", None)
     while True:
-        chunk = inbox.get()
-        if chunk is None:
+        item = inbox.get()
+        if item is None:
             break
         if error is not None:
             continue
+        stamped_at, chunk = item
+        if note_wait is not None:
+            # One wait sample per chunk: the pipe transports chunks, so
+            # that is the granularity at which waiting is observable.
+            note_wait(time.monotonic() - stamped_at)
         try:
             for event in chunk:
                 worker.process(event)
@@ -299,6 +348,23 @@ class ProcessLaneExecutor(LaneExecutorBase):
         results = [collected[lane][1] for lane in range(self.n_lanes)]
         return results, self._telemetry
 
+    def telemetry_now(self) -> list[LaneTelemetry]:
+        return self._telemetry
+
+    def flush_pending(self) -> None:
+        for lane in range(self.n_lanes):
+            self._flush(lane)
+
+    def lane_depths(self) -> list[int]:
+        depths = []
+        for lane, inbox in enumerate(self._inboxes):
+            try:
+                size = inbox.qsize() * self._chunk_size
+            except NotImplementedError:  # macOS: sem_getvalue unsupported
+                size = 0
+            depths.append(size + len(self._buffers[lane]))
+        return depths
+
     def _put_alive(self, lane: int, obj) -> None:
         """Blocking put that never waits on a corpse.
 
@@ -372,11 +438,12 @@ class ProcessLaneExecutor(LaneExecutorBase):
     def _send(self, lane: int, chunk: list, block: bool) -> bool:
         telemetry = self._telemetry[lane]
         inbox = self._inboxes[lane]
+        item = (time.monotonic(), chunk)
         if block:
-            self._put_alive(lane, chunk)
+            self._put_alive(lane, item)
         else:
             try:
-                inbox.put_nowait(chunk)
+                inbox.put_nowait(item)
             except stdlib_queue.Full:
                 telemetry.shed += len(chunk)
                 return False

@@ -35,6 +35,12 @@ from repro.detection.session import SessionState
 from repro.detection.set_algebra import SessionSets
 from repro.ml.adaboost import AdaBoostModel
 from repro.ml.batch import BatchVerdict
+from repro.obs.flight import FlightFrame, FlightRecorder, merge_flight
+from repro.obs.registry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
 from repro.proxy.network import NetworkStats, ProxyNetwork
 
 
@@ -59,8 +65,17 @@ class IngressConfig:
     housekeeping_interval: float = 600.0
     batch: MicroBatchConfig = field(default_factory=MicroBatchConfig)
     scorer_model: AdaBoostModel | None = None
+    #: Virtual-time sampling interval for the flight recorder
+    #: (None = off).  Every lane — and the admission side, via
+    #: :meth:`IngressPipeline.tick` — snapshots its metrics registry on
+    #: this shared event-time grid.
+    flight_interval: float | None = None
 
     def __post_init__(self) -> None:
+        if self.flight_interval is not None and self.flight_interval <= 0:
+            raise ValueError(
+                "flight_interval must be positive (or None to disable)"
+            )
         if self.executor not in EXECUTOR_KINDS:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_KINDS}, "
@@ -91,6 +106,11 @@ class IngressResult:
     shed: int = 0
     first_timestamp: float = 0.0
     last_timestamp: float = 0.0
+    #: Deployment-wide metrics (admission + every lane, merged in lane
+    #: order) and the merged flight-recorder timeline (empty unless
+    #: ``flight_interval`` was set).
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    flight: list[FlightFrame] = field(default_factory=list)
 
     def session_sets(self) -> SessionSets:
         """Set-algebra census over the merged analyzable sessions."""
@@ -125,12 +145,13 @@ class IngressPipeline:
                 node.detection.registry.has_listeners
                 for node in network.nodes
             )
+            or any(node.metrics.has_listeners for node in network.nodes)
         ):
             raise ValueError(
-                "traffic taps / registry listeners cannot observe "
-                "process-executor lanes (they would fire in the child "
-                "interpreter and be lost): record with the serial or "
-                "thread executor, or detach the observers first"
+                "traffic taps / registry listeners / metrics listeners "
+                "cannot observe process-executor lanes (they would fire "
+                "in the child interpreter and be lost): record with the "
+                "serial or thread executor, or detach the observers first"
             )
         self._network = network
         self._config = config
@@ -142,6 +163,18 @@ class IngressPipeline:
             chunk_size=config.chunk_size,
         )
         self._closed = False
+        #: Admission-side registry: queue/shed accounting the lanes
+        #: cannot see (they live behind the queues being measured).
+        self.metrics = MetricsRegistry()
+        self._flight = (
+            FlightRecorder(
+                config.flight_interval,
+                self.metrics,
+                prepare=self._collect_admission,
+            )
+            if config.flight_interval
+            else None
+        )
 
     @property
     def config(self) -> IngressConfig:
@@ -168,6 +201,41 @@ class IngressPipeline:
         return self._executor.submit(
             self.lane_for(client_ip), event, force=force
         )
+
+    def tick(self, timestamp: float) -> None:
+        """Advance the admission-side flight recorder to an event time.
+
+        Drivers call this once per arrival (before submitting it) so
+        queue-depth and shed trajectories land on the same virtual-time
+        grid the lanes sample on.  No-op unless ``flight_interval`` is
+        configured.
+        """
+        if self._flight is not None:
+            self._flight.tick(timestamp)
+
+    def _collect_admission(self) -> None:
+        # Transport chunking must not show up in frames: flushed, the
+        # enqueued counters reflect exactly the events submitted before
+        # this virtual-time boundary — identical on every executor.
+        self._executor.flush_pending()
+        depths = self._executor.lane_depths()
+        for counters in self._executor.telemetry_now():
+            labels = {"lane": str(counters.lane)}
+            self.metrics.counter(
+                "repro_ingress_admitted_total", labels
+            ).set(counters.enqueued)
+            self.metrics.counter(
+                "repro_ingress_shed_total", labels
+            ).set(counters.shed)
+            self.metrics.gauge(
+                "repro_ingress_queue_high_watermark",
+                labels,
+                wall=True,
+                agg="max",
+            ).set_max(counters.high_watermark)
+            self.metrics.gauge(
+                "repro_ingress_queue_depth", labels, wall=True
+            ).set(depths[counters.lane])
 
     def close(self) -> IngressResult:
         """Drain every lane, collect lane results, merge deterministically."""
@@ -202,6 +270,43 @@ class IngressPipeline:
         result.shed = result.stats.shed
         result.first_timestamp = min(firsts) if firsts else 0.0
         result.last_timestamp = max(lasts) if lasts else 0.0
+        # Final admission accounting (idempotent set(), so it agrees
+        # with whatever the flight recorder already collected), then the
+        # deployment-wide merge: admission registry first, lane
+        # snapshots in lane order.
+        for counters in telemetry:
+            labels = {"lane": str(counters.lane)}
+            self.metrics.counter(
+                "repro_ingress_admitted_total", labels
+            ).set(counters.enqueued)
+            self.metrics.counter(
+                "repro_ingress_shed_total", labels
+            ).set(counters.shed)
+            self.metrics.gauge(
+                "repro_ingress_queue_high_watermark",
+                labels,
+                wall=True,
+                agg="max",
+            ).set_max(counters.high_watermark)
+        lane_snapshots = [
+            lane.metrics
+            for lane in lane_results
+            if lane.metrics is not None
+        ]
+        result.metrics = merge_snapshots(
+            [self.metrics.snapshot(), *lane_snapshots]
+        )
+        if self._flight is not None or any(
+            lane.flight for lane in lane_results
+        ):
+            frames = [lane.flight for lane in lane_results]
+            finals = [
+                lane.metrics or MetricsSnapshot() for lane in lane_results
+            ]
+            if self._flight is not None:
+                frames = [self._flight.frames, *frames]
+                finals = [self.metrics.snapshot(), *finals]
+            result.flight = merge_flight(frames, finals)
         return result
 
 
@@ -219,6 +324,7 @@ def replay_workers(
             scorer_model=config.scorer_model,
             batch=config.batch,
             taps=network.taps,
+            flight_interval=config.flight_interval,
         )
         for lane, node in enumerate(network.nodes)
     ]

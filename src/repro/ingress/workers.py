@@ -36,6 +36,12 @@ from repro.ingress.batcher import MicroBatchConfig, MicroBatcher
 from repro.ml.adaboost import AdaBoostModel
 from repro.ml.batch import BatchVerdict
 from repro.ml.dataset import SessionExample
+from repro.obs.flight import FlightFrame, FlightRecorder
+from repro.obs.registry import (
+    EVENT_SECONDS_BUCKETS,
+    WALL_SECONDS_BUCKETS,
+    MetricsSnapshot,
+)
 from repro.proxy.node import NodeStats, ProxyNode
 from repro.util.rng import RngStream
 from repro.workload.session_run import SessionRecord
@@ -64,6 +70,18 @@ class LaneResult:
     records: list[tuple[int, SessionRecord]] | None = None
     examples: list[tuple[int, SessionExample]] | None = None
     captcha_stats: CaptchaStats | None = None
+    #: The lane registry's final snapshot and its flight-recorder frames
+    #: (both picklable, so they ship back from process-executor lanes).
+    metrics: MetricsSnapshot | None = None
+    flight: list[FlightFrame] = field(default_factory=list)
+
+
+def export_captcha_stats(metrics, stats: CaptchaStats) -> None:
+    """Collect the CAPTCHA funnel into (unlabeled) counters."""
+    for name in ("offered", "declined", "attempted", "passed", "failed"):
+        metrics.counter(f"repro_captcha_{name}_total").set(
+            getattr(stats, name)
+        )
 
 
 class ReplayLaneWorker:
@@ -77,6 +95,7 @@ class ReplayLaneWorker:
         scorer_model: AdaBoostModel | None = None,
         batch: MicroBatchConfig | None = None,
         taps=(),
+        flight_interval: float | None = None,
     ) -> None:
         self.lane = lane
         self.node = node
@@ -95,15 +114,44 @@ class ReplayLaneWorker:
         self._probes_loaded = 0
         self._first: float | None = None
         self._last: float | None = None
+        # Lane metrics live on the node's registry: the node is the
+        # lane's state, so one registry rides wherever the lane runs.
+        lane_labels = {"lane": str(lane)}
+        self._batcher.attach_metrics(node.metrics, lane_labels)
+        self._queue_wait_wall = node.metrics.histogram(
+            "repro_ingress_queue_wait_seconds",
+            WALL_SECONDS_BUCKETS,
+            lane_labels,
+            wall=True,
+        )
+        self._queue_wait_event = node.metrics.histogram(
+            "repro_ingress_queue_wait_event_seconds",
+            EVENT_SECONDS_BUCKETS,
+            lane_labels,
+        )
+        self._lane_clock: float | None = None
+        self._flight = (
+            FlightRecorder(
+                flight_interval, node.metrics, prepare=node.export_metrics
+            )
+            if flight_interval
+            else None
+        )
+
+    def note_queue_wait(self, seconds: float) -> None:
+        """Record wall-clock time an admitted event sat in the lane queue."""
+        self._queue_wait_wall.observe(seconds)
 
     def process(self, event) -> None:
         """Consume one admitted ``(kind, record)`` event."""
         kind, record = event
         if kind == PROBE_EVENT:
+            self._observe_event_time(record.issued_at)
             self._sweep(record.issued_at)
             self.node.detection.registry.register(record.to_probe())
             self._probes_loaded += 1
             return
+        self._observe_event_time(record.timestamp)
         self._sweep(record.timestamp)
         request = record.to_request()
         response, outcome = self.node.handle_traced(request)
@@ -132,7 +180,22 @@ class ReplayLaneWorker:
             probes_loaded=self._probes_loaded,
             first_timestamp=self._first,
             last_timestamp=self._last,
+            metrics=self.node.metrics_snapshot(),
+            flight=self._flight.frames if self._flight is not None else [],
         )
+
+    def _observe_event_time(self, timestamp: float) -> None:
+        # Event-time queue skew: how far behind the lane's own clock an
+        # event is when it reaches the worker.  Pure function of the
+        # admitted stream, so it lands in the deterministic domain.
+        if self._flight is not None:
+            self._flight.tick(timestamp)
+        if self._lane_clock is not None:
+            self._queue_wait_event.observe(
+                max(0.0, self._lane_clock - timestamp)
+            )
+        if self._lane_clock is None or timestamp > self._lane_clock:
+            self._lane_clock = timestamp
 
     def _sweep(self, timestamp: float) -> None:
         # Same anchoring as the synchronous replay loop, but on this
@@ -171,6 +234,7 @@ class WorkloadLaneWorker:
         captcha_config: CaptchaConfig,
         captcha_rng: RngStream,
         taps=(),
+        flight_interval: float | None = None,
     ) -> None:
         self.lane = lane
         self.node = node
@@ -184,6 +248,23 @@ class WorkloadLaneWorker:
         self._indices: list[int] = []
         self._agents: list = []
         self._starts: list[float] = []
+        self._queue_wait_wall = node.metrics.histogram(
+            "repro_ingress_queue_wait_seconds",
+            WALL_SECONDS_BUCKETS,
+            {"lane": str(lane)},
+            wall=True,
+        )
+        self._flight = (
+            FlightRecorder(
+                flight_interval, node.metrics, prepare=node.export_metrics
+            )
+            if flight_interval
+            else None
+        )
+
+    def note_queue_wait(self, seconds: float) -> None:
+        """Record wall-clock time an admitted event sat in the lane queue."""
+        self._queue_wait_wall.observe(seconds)
 
     def process(self, event) -> None:
         """Accept one admitted session assignment."""
@@ -205,10 +286,13 @@ class WorkloadLaneWorker:
             self._annotate(record)
 
         handler = self.node.handle
-        if self._taps:
+        if self._taps or self._flight is not None:
             # Lane traffic bypasses ProxyNetwork.handle; fire the
-            # network's taps (trace recorders) per exchange here.
+            # network's taps (trace recorders) per exchange here — and
+            # tick the flight recorder on the driven event clock.
             def handler(request, _handle=self.node.handle):
+                if self._flight is not None:
+                    self._flight.tick(request.timestamp)
                 response = _handle(request)
                 for tap in self._taps:
                     tap(request, response)
@@ -230,6 +314,7 @@ class WorkloadLaneWorker:
                 examples.append((index, record.example))
 
         self.node.detection.finalize()
+        export_captcha_stats(self.node.metrics, self._captcha.stats)
         return LaneResult(
             lane=self.lane,
             stats=self.node.stats,
@@ -239,6 +324,8 @@ class WorkloadLaneWorker:
             records=indexed_records,
             examples=examples,
             captcha_stats=self._captcha.stats,
+            metrics=self.node.metrics_snapshot(),
+            flight=self._flight.frames if self._flight is not None else [],
         )
 
     def _annotate(self, record: SessionRecord) -> None:

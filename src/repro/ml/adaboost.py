@@ -250,6 +250,35 @@ class AdaBoostModel:
         return len(self.stumps)
 
 
+def demo_ensemble(
+    rounds: int, seed: int = 2006, n_features: int | None = None
+) -> AdaBoostModel:
+    """A seeded random ensemble over the Table 2 feature space.
+
+    Exercises the full micro-batch scoring path (feature accumulation,
+    matrix assembly, vectorised voting) with deterministic structure and
+    no training data — its verdicts carry no classification meaning.
+    Use a :class:`AdaBoostClassifier`-fitted model for real scoring.
+    """
+    from repro.ml.features import N_ATTRIBUTES
+
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    rng = np.random.default_rng(seed)
+    model = AdaBoostModel(n_features=n_features or N_ATTRIBUTES)
+    for _ in range(rounds):
+        model.stumps.append(
+            DecisionStump(
+                feature=int(rng.integers(model.n_features)),
+                threshold=float(rng.uniform(0.0, 100.0)),
+                polarity=int(rng.choice((-1, 1))),
+            )
+        )
+        model.alphas.append(float(rng.uniform(0.05, 1.0)))
+    model.compile()
+    return model
+
+
 class AdaBoostClassifier:
     """Trainer: fit(X, y) -> AdaBoostModel."""
 

@@ -16,6 +16,7 @@ bounded during million-session replays.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -73,6 +74,8 @@ class BatchScorer:
         self.verdicts: list[BatchVerdict] = []
         self.flushes = 0
         self._scored = 0
+        self._score_seconds = None
+        self._scored_total = None
 
     @property
     def model(self) -> AdaBoostModel:
@@ -115,12 +118,32 @@ class BatchScorer:
         for session_id, features in items:
             self.add(session_id, features)
 
+    def attach_metrics(self, registry, labels=None) -> None:
+        """Record scoring wall time and scored-session counts.
+
+        ``repro_batch_score_seconds`` (wall) times the vectorized score
+        pass; ``repro_batch_sessions_scored_total`` (deterministic)
+        counts rows, which depend only on the add/flush sequence.
+        """
+        from repro.obs.registry import WALL_SECONDS_BUCKETS
+
+        self._score_seconds = registry.histogram(
+            "repro_batch_score_seconds", WALL_SECONDS_BUCKETS,
+            labels, wall=True,
+        )
+        self._scored_total = registry.counter(
+            "repro_batch_sessions_scored_total", labels
+        )
+
     def flush(self) -> list[BatchVerdict]:
         """Score everything buffered as one matrix; returns the batch."""
         if not self._ids:
             return []
         matrix = np.stack(self._vectors)
+        started = time.perf_counter()
         margins = self._model.score(matrix)
+        if self._score_seconds is not None:
+            self._score_seconds.observe(time.perf_counter() - started)
         batch = [
             BatchVerdict(session_id=session_id, margin=float(margin))
             for session_id, margin in zip(self._ids, margins)
@@ -131,6 +154,8 @@ class BatchScorer:
             self.verdicts.extend(batch)
         self._scored += len(batch)
         self.flushes += 1
+        if self._scored_total is not None:
+            self._scored_total.inc(len(batch))
         if self._on_flush is not None:
             self._on_flush(batch)
         return batch

@@ -1,0 +1,213 @@
+"""Exporters: Prometheus text format, canonical JSON, a terminal table.
+
+The JSON form is **canonical**: points sorted by ``(name, labels)``,
+object keys sorted, no whitespace, floats in Python ``repr`` form.  Two
+snapshots with equal content therefore serialize to identical bytes —
+which is what lets the determinism suite assert snapshot equality at
+the byte level, and what makes committed metrics artifacts diffable
+across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.flight import FlightFrame
+from repro.obs.registry import MetricPoint, MetricsSnapshot
+
+
+def _point_payload(point: MetricPoint) -> dict:
+    payload: dict = {
+        "name": point.name,
+        "labels": dict(point.labels),
+        "kind": point.kind,
+        "wall": point.wall,
+    }
+    if point.kind == "histogram":
+        payload["buckets"] = list(point.buckets or ())
+        payload["counts"] = list(point.counts or ())
+        payload["sum"] = point.sum
+        payload["count"] = point.count
+    else:
+        payload["value"] = point.value
+        if point.kind == "gauge":
+            payload["agg"] = point.agg
+    return payload
+
+
+def _point_from_payload(payload: dict) -> MetricPoint:
+    common = dict(
+        name=payload["name"],
+        labels=tuple(sorted(
+            (str(k), str(v)) for k, v in payload["labels"].items()
+        )),
+        kind=payload["kind"],
+        wall=bool(payload["wall"]),
+    )
+    if payload["kind"] == "histogram":
+        return MetricPoint(
+            **common,
+            buckets=tuple(payload["buckets"]),
+            counts=tuple(payload["counts"]),
+            sum=payload["sum"],
+            count=payload["count"],
+        )
+    return MetricPoint(
+        **common,
+        value=payload["value"],
+        agg=payload.get("agg", "sum"),
+    )
+
+
+def to_json(
+    snapshot: MetricsSnapshot,
+    flight: Iterable[FlightFrame] = (),
+) -> str:
+    """Canonical JSON for a snapshot (plus optional flight frames)."""
+    document: dict = {
+        "schema": "repro.obs/v1",
+        "points": [_point_payload(p) for p in snapshot.points],
+    }
+    frames = [
+        {"tick": frame.tick,
+         "points": [_point_payload(p) for p in frame.metrics.points]}
+        for frame in flight
+    ]
+    if frames:
+        document["flight"] = frames
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def snapshot_from_json(
+    text: str,
+) -> tuple[MetricsSnapshot, list[FlightFrame]]:
+    """Parse a :func:`to_json` document back into snapshot + frames."""
+    document = json.loads(text)
+    if document.get("schema") != "repro.obs/v1":
+        raise ValueError(
+            "not a repro.obs metrics document (missing/unknown schema)"
+        )
+    snapshot = MetricsSnapshot(
+        points=[_point_from_payload(p) for p in document["points"]]
+    )
+    frames = [
+        FlightFrame(
+            tick=frame["tick"],
+            metrics=MetricsSnapshot(
+                points=[_point_from_payload(p) for p in frame["points"]]
+            ),
+        )
+        for frame in document.get("flight", ())
+    ]
+    return snapshot, frames
+
+
+# -- Prometheus text format -------------------------------------------------
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_text(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_bound(bound: float) -> str:
+    """Prometheus ``le`` values: integral bounds without a trailing .0."""
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for point in snapshot.points:
+        if point.name not in seen_types:
+            seen_types.add(point.name)
+            lines.append(f"# TYPE {point.name} {point.kind}")
+        if point.kind == "histogram":
+            assert point.buckets is not None and point.counts is not None
+            cumulative = 0
+            for bound, count in zip(point.buckets, point.counts):
+                cumulative += count
+                lines.append(
+                    f"{point.name}_bucket"
+                    f"{_label_text(point.labels, (('le', _format_bound(bound)),))}"
+                    f" {cumulative}"
+                )
+            cumulative += point.counts[-1]
+            lines.append(
+                f"{point.name}_bucket"
+                f"{_label_text(point.labels, (('le', '+Inf'),))}"
+                f" {cumulative}"
+            )
+            lines.append(
+                f"{point.name}_sum{_label_text(point.labels)} {point.sum!r}"
+            )
+            lines.append(
+                f"{point.name}_count{_label_text(point.labels)} "
+                f"{point.count}"
+            )
+        else:
+            value = point.value
+            rendered = str(int(value)) if value == int(value) else repr(value)
+            lines.append(
+                f"{point.name}{_label_text(point.labels)} {rendered}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- terminal rendering -----------------------------------------------------
+
+
+def _histogram_quantile(point: MetricPoint, q: float) -> float:
+    """Approximate quantile from bucket counts (upper-bound estimate)."""
+    assert point.buckets is not None and point.counts is not None
+    if point.count == 0:
+        return 0.0
+    target = q * point.count
+    cumulative = 0
+    for bound, count in zip(point.buckets, point.counts):
+        cumulative += count
+        if cumulative >= target:
+            return bound
+    return point.buckets[-1]
+
+
+def render_table(snapshot: MetricsSnapshot) -> str:
+    """A human-readable metric table for ``repro stats``."""
+    lines: list[str] = []
+    for point in snapshot.points:
+        labels = _label_text(point.labels)
+        domain = "wall" if point.wall else "det "
+        if point.kind == "histogram":
+            if point.count:
+                mean = point.sum / point.count
+                detail = (
+                    f"count={point.count} mean={mean:.6g} "
+                    f"p50<={_histogram_quantile(point, 0.5):.6g} "
+                    f"p99<={_histogram_quantile(point, 0.99):.6g} "
+                    f"sum={point.sum:.6g}"
+                )
+            else:
+                detail = "count=0"
+            lines.append(f"[{domain}] {point.name}{labels}  {detail}")
+        else:
+            value = point.value
+            rendered = (
+                str(int(value)) if value == int(value) else f"{value:.6g}"
+            )
+            lines.append(f"[{domain}] {point.name}{labels}  {rendered}")
+    return "\n".join(lines)

@@ -177,6 +177,20 @@ class ProxyNetwork:
             total.absorb(node.stats)
         return total
 
+    def metrics_snapshot(self, include_wall: bool = True):
+        """Deployment-wide metrics: node registries merged in node order.
+
+        Node order is the same order the ingress merges lanes in, so a
+        synchronous run and a pipelined run reduce their deterministic
+        metrics identically.
+        """
+        from repro.obs.registry import merge_snapshots
+
+        return merge_snapshots(
+            node.metrics_snapshot(include_wall=include_wall)
+            for node in self.nodes
+        )
+
     def finalize_sessions(self) -> list[SessionState]:
         """Finalize all nodes and collect every analyzable session."""
         sessions: list[SessionState] = []

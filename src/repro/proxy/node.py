@@ -13,6 +13,7 @@ The request path mirrors an instrumented CoDeeN node:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.detection.service import DetectionService, RequestOutcome
@@ -27,6 +28,7 @@ from repro.instrument.rewriter import (
     beacon_response,
     mark_uncacheable,
 )
+from repro.obs.registry import WALL_SECONDS_BUCKETS, MetricsRegistry
 from repro.proxy.cache import ProxyCache
 from repro.proxy.ratelimit import RateLimitConfig, TokenBucketLimiter
 from repro.site.origin import OriginServer
@@ -112,6 +114,14 @@ class ProxyNode:
         self.limiter = TokenBucketLimiter(rate_limit) if rate_limit else None
         self.instrument_enabled = instrument_enabled
         self.stats = NodeStats()
+        self.metrics = MetricsRegistry()
+        self._handle_seconds = self.metrics.histogram(
+            "repro_proxy_handle_seconds",
+            WALL_SECONDS_BUCKETS,
+            {"node": node_id},
+            wall=True,
+        )
+        self._attach_detection_metrics()
 
     def handle(self, request: Request) -> Response:
         """Process one client request end to end."""
@@ -127,6 +137,15 @@ class ProxyNode:
         when the request never reached the detection pipeline (rate
         limited at the front door).
         """
+        started = time.perf_counter()
+        try:
+            return self._handle_traced(request)
+        finally:
+            self._handle_seconds.observe(time.perf_counter() - started)
+
+    def _handle_traced(
+        self, request: Request
+    ) -> tuple[Response, RequestOutcome | None]:
         self.stats.requests += 1
         now = request.timestamp
 
@@ -136,7 +155,7 @@ class ProxyNode:
             self.stats.rate_limited += 1
             return error_response(503, "rate limited"), None
 
-        outcome = self.detection.handle_request(request)
+        outcome = self._run_detection(request)
 
         if outcome.blocked:
             self.stats.policy_blocked += 1
@@ -201,6 +220,96 @@ class ProxyNode:
         if beacon:
             self.stats.beacon_bytes_served += response.size
 
+    # -- metrics ------------------------------------------------------------
+
+    def _attach_detection_metrics(self) -> None:
+        """Per-shard detection timing; single-service nodes are shard 00."""
+        if isinstance(self.detection, ShardedDetectionService):
+            self.detection.attach_metrics(self.metrics, self.node_id)
+            self._detection_seconds = None
+            self._detection_requests = None
+        else:
+            labels = {"node": self.node_id, "shard": "00"}
+            self._detection_seconds = self.metrics.histogram(
+                "repro_detection_seconds",
+                WALL_SECONDS_BUCKETS,
+                labels,
+                wall=True,
+            )
+            self._detection_requests = self.metrics.counter(
+                "repro_detection_requests_total", labels
+            )
+
+    def _run_detection(self, request: Request) -> RequestOutcome:
+        if self._detection_seconds is None:
+            # Sharded: the service times per shard via attach_metrics.
+            return self.detection.handle_request(request)
+        started = time.perf_counter()
+        outcome = self.detection.handle_request(request)
+        self._detection_seconds.observe(time.perf_counter() - started)
+        self._detection_requests.inc()
+        return outcome
+
+    _EXPORTED_STATS = (
+        "requests",
+        "rate_limited",
+        "policy_blocked",
+        "beacon_requests",
+        "origin_requests",
+        "cache_hits",
+        "pages_instrumented",
+        "bytes_served",
+        "beacon_bytes_served",
+        "instrumentation_markup_bytes",
+    )
+
+    def export_metrics(self) -> None:
+        """Collect authoritative stats objects into registry counters.
+
+        Idempotent (``Counter.set``), so snapshots and flight-recorder
+        frames can re-collect at will.  ``NodeStats.queued``/``shed``
+        are deliberately absent: the ingress accounts admission on the
+        parent side, and lane merges fold them into ``NodeStats`` after
+        the fact — exporting them here would double-count.
+        """
+        labels = {"node": self.node_id}
+        metrics = self.metrics
+        for name in self._EXPORTED_STATS:
+            metrics.counter(f"repro_proxy_{name}_total", labels).set(
+                getattr(self.stats, name)
+            )
+        cache = self.cache.stats
+        for name in ("hits", "misses", "insertions", "evictions", "expired"):
+            metrics.counter(f"repro_cache_{name}_total", labels).set(
+                getattr(cache, name)
+            )
+        if self.limiter is not None:
+            for name in ("allowed", "denied", "evicted"):
+                metrics.counter(f"repro_ratelimit_{name}_total", labels).set(
+                    getattr(self.limiter, name)
+                )
+            metrics.gauge("repro_ratelimit_buckets", labels).set(
+                len(self.limiter)
+            )
+        shards = (
+            self.detection.shards
+            if isinstance(self.detection, ShardedDetectionService)
+            else [self.detection]
+        )
+        for index, shard in enumerate(shards):
+            shard_labels = {"node": self.node_id, "shard": f"{index:02d}"}
+            metrics.gauge(
+                "repro_detection_sessions_live", shard_labels
+            ).set(shard.tracker.live_count)
+            metrics.counter(
+                "repro_detection_sessions_started_total", shard_labels
+            ).set(shard.tracker.total_started)
+
+    def metrics_snapshot(self, include_wall: bool = True):
+        """Export-then-snapshot convenience."""
+        self.export_metrics()
+        return self.metrics.snapshot(include_wall=include_wall)
+
     def shard_detection(
         self, n_shards: int, max_workers: int | None = None
     ) -> None:
@@ -230,6 +339,14 @@ class ProxyNode:
         )
         if isinstance(previous, ShardedDetectionService):
             previous.close()
+        # Re-sharding happens pre-traffic, so the old layout's (all-zero)
+        # detection instruments can simply be replaced.
+        for name in (
+            "repro_detection_seconds",
+            "repro_detection_requests_total",
+        ):
+            self.metrics.discard_series(name)
+        self._attach_detection_metrics()
 
     def close_detection(self) -> None:
         """Release detection-side resources (shard executor threads).

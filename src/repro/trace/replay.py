@@ -30,6 +30,8 @@ from repro.detection.online import DetectionLatency
 from repro.detection.session import SessionState
 from repro.detection.set_algebra import SetAlgebraSummary
 from repro.ml.batch import BatchVerdict
+from repro.obs.flight import FlightFrame, FlightRecorder, merge_flight
+from repro.obs.registry import MetricsSnapshot
 from repro.proxy.network import NetworkStats, ProxyNetwork
 from repro.trace.clf import ParseStats, TraceRecord, read_trace
 from repro.trace.recorder import ProbeRecord, read_probe_journal
@@ -81,10 +83,19 @@ class ReplayConfig:
     shed: bool = False
     scorer_model: "AdaBoostModel | None" = None
     batch: "MicroBatchConfig | None" = None
+    #: Virtual-time flight-recorder sampling interval (None = off).
+    #: Works on both the synchronous loop (per-node recorders) and the
+    #: pipelined ingress (per-lane + admission-side recorders) — the
+    #: sampling grid is absolute, so both produce the same frames.
+    flight_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.housekeeping_interval < 0:
             raise ValueError("housekeeping_interval must be non-negative")
+        if self.flight_interval is not None and self.flight_interval <= 0:
+            raise ValueError(
+                "flight_interval must be positive (or None to disable)"
+            )
         if self.shards < 0:
             raise ValueError("shards must be non-negative")
         if self.shard_workers is not None and self.shard_workers < 1:
@@ -124,6 +135,10 @@ class ReplayResult(SessionCensus):
     #: journal corruption is never misreported as access-log damage.
     parse_stats: ParseStats = field(default_factory=ParseStats)
     probe_parse_stats: ParseStats = field(default_factory=ParseStats)
+    #: Deployment-wide metrics snapshot, and the merged flight-recorder
+    #: timeline (empty unless ``flight_interval`` was configured).
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    flight: list[FlightFrame] = field(default_factory=list)
 
     @property
     def span(self) -> float:
@@ -217,6 +232,21 @@ class TraceReplayEngine:
         interval = cfg.housekeeping_interval or None
         next_sweep = None
         first = last = None
+        # Per-node flight recorders, ticked on each node's own event
+        # stream — identical frame sequences to what pipelined lanes
+        # record, because the sampling grid is absolute and a node sees
+        # the same events in the same order either way.
+        recorders = (
+            [
+                FlightRecorder(
+                    cfg.flight_interval, node.metrics,
+                    prepare=node.export_metrics,
+                )
+                for node in self._network.nodes
+            ]
+            if cfg.flight_interval
+            else None
+        )
 
         for timestamp, priority, _stream, _seq, item in heapq.merge(*streams):
             if interval is not None:
@@ -225,6 +255,10 @@ class TraceReplayEngine:
                 elif timestamp >= next_sweep:
                     self._network.housekeeping(timestamp)
                     next_sweep = timestamp + interval
+            if recorders is not None:
+                recorders[
+                    self._network.node_index_for(item.client_ip)
+                ].tick(timestamp)
             if priority == _PROBE_EVENT:
                 node = self._network.node_for(item.client_ip)
                 node.detection.registry.register(item.to_probe())
@@ -251,6 +285,15 @@ class TraceReplayEngine:
         result.latencies = self._network.detection_latencies()
         result.first_timestamp = first or 0.0
         result.last_timestamp = last or 0.0
+        result.metrics = self._network.metrics_snapshot()
+        if recorders is not None:
+            result.flight = merge_flight(
+                [recorder.frames for recorder in recorders],
+                [
+                    node.metrics_snapshot()
+                    for node in self._network.nodes
+                ],
+            )
         return result
 
     def _replay_pipelined(
@@ -304,6 +347,7 @@ class TraceReplayEngine:
             housekeeping_interval=cfg.housekeeping_interval,
             batch=cfg.batch or MicroBatchConfig(),
             scorer_model=cfg.scorer_model,
+            flight_interval=cfg.flight_interval,
         )
         pipeline = IngressPipeline(
             self._network,
@@ -313,6 +357,7 @@ class TraceReplayEngine:
 
         identities: dict[tuple[str, str], tuple[str, str]] = {}
         for _time, priority, _stream, _seq, item in heapq.merge(*streams):
+            pipeline.tick(_time)
             if priority == _PROBE_EVENT:
                 pipeline.submit(
                     (PROBE_EVENT, item), item.client_ip, force=True
@@ -340,6 +385,8 @@ class TraceReplayEngine:
             parse_stats=parse_stats,
             probe_parse_stats=probe_parse_stats,
             ml_verdicts=ingress.ml_verdicts,
+            metrics=ingress.metrics,
+            flight=ingress.flight,
         )
 
     # -- stream plumbing ----------------------------------------------------

@@ -196,6 +196,23 @@ class WorkloadEngine:
             latencies=self._network.detection_latencies(),
             dataset=Dataset(examples=examples),
             captcha=captcha,
+            metrics=self._metrics_snapshot(captcha),
+        )
+
+    def _metrics_snapshot(self, captcha: CaptchaService):
+        """Network metrics plus the engine-level CAPTCHA funnel.
+
+        The pipelined mode exports the funnel inside each lane worker;
+        the sequential/interleaved drivers own the funnel here, so its
+        counters are collected into a side registry and merged in.
+        """
+        from repro.ingress.workers import export_captcha_stats
+        from repro.obs.registry import MetricsRegistry, merge_snapshots
+
+        funnel = MetricsRegistry()
+        export_captcha_stats(funnel, captcha.stats)
+        return merge_snapshots(
+            [self._network.metrics_snapshot(), funnel.snapshot()]
         )
 
     # -- driving modes ------------------------------------------------------
@@ -306,6 +323,7 @@ class WorkloadEngine:
             latencies=ingress.latencies,
             dataset=Dataset(examples=examples),
             captcha=captcha,
+            metrics=ingress.metrics,
         )
 
     def _run_interleaved(

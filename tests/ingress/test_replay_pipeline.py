@@ -160,6 +160,93 @@ class TestExecutorDeterminism:
         ] == [(v.session_id, v.margin) for v in reference.ml_verdicts]
 
 
+class TestMetricsDeterminism:
+    """Snapshot byte-identity: the observability acceptance matrix."""
+
+    BATCH = MicroBatchConfig(max_batch=32, max_delay=1800.0)
+
+    @pytest.fixture(scope="class")
+    def reference(self, recorded):
+        return _replay(
+            recorded,
+            executor="serial",
+            scorer_model=_scorer_model(),
+            batch=self.BATCH,
+            flight_interval=3600.0,
+        )
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("depth", [1, 16, None])
+    def test_deterministic_snapshot_byte_identical(
+        self, recorded, reference, executor, depth
+    ):
+        from repro.obs.export import to_json
+
+        result = _replay(
+            recorded,
+            executor=executor,
+            queue_depth=depth,
+            scorer_model=_scorer_model(),
+            batch=self.BATCH,
+            flight_interval=3600.0,
+        )
+        assert to_json(result.metrics.deterministic()) == to_json(
+            reference.metrics.deterministic()
+        )
+        # Flight frames sit on an absolute grid, so their deterministic
+        # content is also byte-identical, frame by frame.
+        assert [f.tick for f in result.flight] == [
+            f.tick for f in reference.flight
+        ]
+        for ours, theirs in zip(result.flight, reference.flight):
+            assert to_json(ours.metrics.deterministic()) == to_json(
+                theirs.metrics.deterministic()
+            )
+
+    def test_snapshot_has_the_advertised_content(self, reference):
+        snap = reference.metrics
+        assert snap.get("repro_ingress_queue_wait_event_seconds",
+                        {"lane": "0"}).count > 0
+        assert sum(
+            p.count for p in snap.series("repro_detection_seconds")
+        ) > 0
+        assert snap.total("repro_batch_flush_total") > 0
+        assert sum(
+            p.count for p in snap.series("repro_batch_flush_sessions")
+        ) > 0
+        assert snap.total("repro_captcha_offered_total") == 0  # replay
+        assert reference.flight  # the recorder actually sampled
+
+    def test_sync_loop_metrics_embed_in_pipelined(
+        self, recorded, reference
+    ):
+        # The synchronous loop has no ingress/batch instruments, but
+        # every deterministic point it does produce must appear with
+        # the same value in the pipelined run's merged snapshot.
+        sync = _replay(recorded)
+        pipelined = {
+            p.key: p for p in reference.metrics.deterministic().points
+        }
+        for point in sync.metrics.deterministic().points:
+            assert pipelined[point.key] == point
+
+    def test_process_lanes_refuse_metrics_listeners(self, recorded):
+        records, probes = recorded
+        network = ProxyNetwork(
+            origins={},
+            rng=RngStream(0, "replay"),
+            n_nodes=3,
+            instrument_enabled=False,
+        )
+        network.nodes[0].metrics.add_listener(lambda frame: None)
+        engine = TraceReplayEngine(
+            network,
+            ReplayConfig(assume_sorted=True, executor="process"),
+        )
+        with pytest.raises(ValueError, match="metrics listeners"):
+            engine.replay(list(records), probes=list(probes))
+
+
 class TestLoadShedding:
     def test_shed_is_counted_never_silent(self, recorded):
         records, probes = recorded

@@ -1,0 +1,106 @@
+"""Exporter round-trips: canonical JSON, Prometheus text, the table."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    render_table,
+    snapshot_from_json,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.flight import FlightFrame
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+
+
+@pytest.fixture()
+def populated():
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", {"node": "node-000"}).inc(7)
+    reg.gauge("repro_depth", {"lane": "0"}, wall=True, agg="max").set(12)
+    h = reg.histogram("repro_wait_seconds", (0.5, 1.0, 2.0), {"lane": "0"})
+    for value in (0.1, 0.7, 1.5, 9.0):
+        h.observe(value)
+    return reg.snapshot()
+
+
+class TestJson:
+    def test_round_trip_preserves_snapshot(self, populated):
+        restored, flight = snapshot_from_json(to_json(populated))
+        assert restored == populated
+        assert flight == []
+
+    def test_canonical_bytes_are_stable(self, populated):
+        # Re-serializing a parsed document must reproduce the bytes —
+        # the property that lets artifacts be diffed across runs.
+        text = to_json(populated)
+        restored, _ = snapshot_from_json(text)
+        assert to_json(restored) == text
+
+    def test_flight_frames_round_trip(self, populated):
+        frames = [
+            FlightFrame(tick=0.0, metrics=MetricsSnapshot()),
+            FlightFrame(tick=600.0, metrics=populated),
+        ]
+        restored, flight = snapshot_from_json(
+            to_json(populated, flight=frames)
+        )
+        assert restored == populated
+        assert [f.tick for f in flight] == [0.0, 600.0]
+        assert flight[1].metrics == populated
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            snapshot_from_json(json.dumps({"points": []}))
+
+    def test_empty_snapshot(self):
+        restored, flight = snapshot_from_json(to_json(MetricsSnapshot()))
+        assert restored == MetricsSnapshot()
+        assert flight == []
+
+
+class TestPrometheus:
+    def test_histogram_exposition(self, populated):
+        text = to_prometheus(populated)
+        assert "# TYPE repro_wait_seconds histogram" in text
+        # Cumulative bucket counts: 1 (<=0.5), 2 (<=1), 3 (<=2), 4 (+Inf)
+        assert 'repro_wait_seconds_bucket{lane="0",le="0.5"} 1' in text
+        assert 'repro_wait_seconds_bucket{lane="0",le="1"} 2' in text
+        assert 'repro_wait_seconds_bucket{lane="0",le="2"} 3' in text
+        assert 'repro_wait_seconds_bucket{lane="0",le="+Inf"} 4' in text
+        assert 'repro_wait_seconds_count{lane="0"} 4' in text
+
+    def test_scalar_exposition_and_types(self, populated):
+        text = to_prometheus(populated)
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{node="node-000"} 7' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert 'repro_depth{lane="0"} 12' in text
+
+    def test_type_line_emitted_once_per_name(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", {"lane": "0"}).inc()
+        reg.counter("x_total", {"lane": "1"}).inc()
+        text = to_prometheus(reg.snapshot())
+        assert text.count("# TYPE x_total counter") == 1
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", {"path": 'a"b\\c'}).inc()
+        text = to_prometheus(reg.snapshot())
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsSnapshot()) == ""
+
+
+class TestTable:
+    def test_marks_domains_and_summarizes(self, populated):
+        text = render_table(populated)
+        assert "[det ] repro_requests_total" in text
+        assert "[wall] repro_depth" in text
+        assert "count=4" in text
+        assert "p50<=" in text

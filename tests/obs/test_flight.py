@@ -1,0 +1,101 @@
+"""Flight recorder: grid alignment, emission rules, lane merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.flight import FlightFrame, FlightRecorder, merge_flight
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+
+
+def _snap(value: float) -> MetricsSnapshot:
+    reg = MetricsRegistry()
+    reg.counter("events_total").set(value)
+    return reg.snapshot()
+
+
+class TestRecorder:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            FlightRecorder(0.0, MetricsRegistry())
+
+    def test_frames_sit_on_absolute_grid(self):
+        reg = MetricsRegistry()
+        recorder = FlightRecorder(10.0, reg)
+        for ts in (3.0, 7.0, 12.0, 13.0, 47.0):
+            recorder.tick(ts)
+        assert [f.tick for f in recorder.frames] == [0.0, 10.0, 40.0]
+
+    def test_frame_excludes_the_triggering_event(self):
+        # tick() is called before applying the event, so the frame at
+        # boundary b never includes events stamped >= b.
+        reg = MetricsRegistry()
+        counter = reg.counter("events_total")
+        recorder = FlightRecorder(10.0, reg)
+        for ts in (1.0, 2.0, 11.0, 21.0):
+            recorder.tick(ts)
+            counter.inc()
+        by_tick = {f.tick: f.metrics.get("events_total").value
+                   for f in recorder.frames}
+        assert by_tick == {0.0: 0.0, 10.0: 2.0, 20.0: 3.0}
+
+    def test_prepare_runs_before_each_sample(self):
+        reg = MetricsRegistry()
+        calls = []
+        recorder = FlightRecorder(
+            5.0, reg, prepare=lambda: calls.append(len(reg.snapshot().points))
+        )
+        recorder.tick(0.0)
+        recorder.tick(5.0)
+        recorder.tick(6.0)  # same boundary: no frame, no prepare
+        assert len(calls) == 2
+        assert len(recorder.frames) == 2
+
+    def test_listeners_observe_emitted_frames(self):
+        reg = MetricsRegistry()
+        seen: list[FlightFrame] = []
+        reg.add_listener(seen.append)
+        recorder = FlightRecorder(10.0, reg)
+        recorder.tick(1.0)
+        recorder.tick(1.5)
+        assert [f.tick for f in seen] == [0.0]
+
+
+class TestMergeFlight:
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError, match="align"):
+            merge_flight([[]], [])
+
+    def test_empty_lanes_produce_no_frames(self):
+        assert merge_flight([[], []], [_snap(1), _snap(2)]) == []
+
+    def test_union_of_ticks_with_stale_and_final_fallbacks(self):
+        # Lane 0 saw boundaries {0, 10}; lane 1 only {10}.  At t=0 lane 1
+        # contributes nothing (its traffic hadn't started); at t=20 lane 0
+        # has no later frame, so its final snapshot stands in.
+        lane0 = [
+            FlightFrame(0.0, _snap(1)),
+            FlightFrame(10.0, _snap(3)),
+        ]
+        lane1 = [
+            FlightFrame(10.0, _snap(5)),
+            FlightFrame(20.0, _snap(8)),
+        ]
+        merged = merge_flight(
+            [lane0, lane1], [_snap(4), _snap(9)]
+        )
+        values = {
+            f.tick: f.metrics.get("events_total").value for f in merged
+        }
+        assert values == {
+            0.0: 1.0,        # lane 0 only
+            10.0: 3.0 + 5.0,  # both lanes' frames at the boundary
+            20.0: 4.0 + 8.0,  # lane 0 falls back to its final snapshot
+        }
+
+    def test_single_lane_merge_is_identity(self):
+        frames = [FlightFrame(0.0, _snap(1)), FlightFrame(30.0, _snap(2))]
+        merged = merge_flight([frames], [_snap(2)])
+        assert [f.tick for f in merged] == [0.0, 30.0]
+        assert merged[0].metrics == frames[0].metrics
+        assert merged[1].metrics == frames[1].metrics

@@ -86,6 +86,98 @@ class TestTraceCommands:
         assert args.trace == ["a.log", "b.log"]
         assert args.strict
 
+    def test_score_rounds_requires_executor(self, capsys):
+        assert main([
+            "replay", "--trace", "x.log", "--score-rounds", "8",
+        ]) == 2
+        assert "--executor" in capsys.readouterr().err
+
+
+class TestMetricsCommands:
+    """The observability acceptance path: --metrics-out + repro stats."""
+
+    @pytest.fixture(scope="class")
+    def replayed(self, tmp_path_factory):
+        import contextlib
+        import io
+
+        tmp_path = tmp_path_factory.mktemp("metrics")
+        trace = str(tmp_path / "t.log.gz")
+        probes = str(tmp_path / "t.keys.gz")
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            assert main([
+                "record", "--out", trace, "--probes", probes,
+                "--mix", "smoke", "--sessions", "40", "--seed", "61",
+                "--nodes", "2",
+            ]) == 0
+        out = str(tmp_path / "m.json")
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            assert main([
+                "replay", "--trace", trace, "--probes", probes,
+                "--nodes", "2", "--sorted", "--shards", "2",
+                "--executor", "thread", "--score-rounds", "8",
+                "--flight-interval", "3600",
+                "--metrics-out", out,
+            ]) == 0
+        return out, sink.getvalue()
+
+    @pytest.fixture(scope="class")
+    def metrics_file(self, replayed):
+        return replayed[0]
+
+    def test_snapshot_has_advertised_content(self, metrics_file):
+        from repro.obs.export import snapshot_from_json
+
+        with open(metrics_file, encoding="utf-8") as handle:
+            snap, flight = snapshot_from_json(handle.read())
+        assert sum(
+            p.count for p in snap.series("repro_ingress_queue_wait_seconds")
+        ) > 0
+        shard_timers = snap.series("repro_detection_seconds")
+        assert {dict(p.labels)["shard"] for p in shard_timers} == {"00", "01"}
+        assert sum(p.count for p in shard_timers) > 0
+        assert sum(
+            p.count for p in snap.series("repro_batch_flush_sessions")
+        ) > 0
+        assert flight  # --flight-interval actually sampled
+
+    def test_replay_summary_surfaces_lane_telemetry(self, replayed):
+        _, out = replayed
+        assert "ingress lanes:" in out
+        assert "lane 0: admitted=" in out
+        assert "queue high-watermark=" in out
+        assert "micro-batch scoring:" in out
+        assert "wrote metrics snapshot" in out
+
+    @pytest.mark.parametrize("fmt", ["table", "prometheus", "json"])
+    def test_stats_formats(self, metrics_file, capsys, fmt):
+        assert main(["stats", metrics_file, "--format", fmt]) == 0
+        out = capsys.readouterr().out
+        assert "repro_detection_seconds" in out
+        if fmt == "prometheus":
+            assert "# TYPE repro_detection_seconds histogram" in out
+            assert 'le="+Inf"' in out
+
+    def test_stats_deterministic_filter(self, metrics_file, capsys):
+        assert main([
+            "stats", metrics_file, "--format", "json", "--deterministic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"wall":true' not in out
+
+    def test_stats_flight_frames(self, metrics_file, capsys):
+        assert main(["stats", metrics_file, "--flight"]) == 0
+        out = capsys.readouterr().out
+        assert "--- t=" in out
+
+    def test_stats_rejects_non_snapshot(self, tmp_path, capsys):
+        bogus = tmp_path / "not_metrics.json"
+        bogus.write_text('{"points": []}')
+        assert main(["stats", str(bogus)]) == 2
+        assert "schema" in capsys.readouterr().err
+
 
 class TestReport:
     def test_subset_report(self):

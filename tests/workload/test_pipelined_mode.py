@@ -85,6 +85,37 @@ class TestPipelinedMode:
         assert result.stats.queued == N_SESSIONS
         assert result.stats.shed == 0
 
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_metrics_match_interleaved_engine(
+        self, make_network, entry_url, interleaved, executor
+    ):
+        # Every deterministic point the interleaved engine produces —
+        # node counters, cache/limiter totals, the CAPTCHA funnel —
+        # must come back with the same value from pipelined lanes.
+        # Sweep-schedule bookkeeping is the one exception: interleaved
+        # housekeeping runs on the global clock, lanes sweep on their
+        # own event clocks, so *when* an expired entry is noticed (not
+        # whether traffic hits or misses) differs by mode.
+        sweep_dependent = {
+            "repro_cache_expired_total",
+            "repro_ratelimit_evicted_total",
+        }
+        result = _run(
+            make_network, entry_url, "pipelined", executor=executor
+        )
+        assert result.metrics.points  # the snapshot actually shipped
+        pipelined = {
+            p.key: p for p in result.metrics.deterministic().points
+        }
+        for point in interleaved.metrics.deterministic().points:
+            if point.name in sweep_dependent:
+                assert point.key in pipelined
+                continue
+            assert pipelined[point.key] == point
+        funnel = result.metrics.get("repro_captcha_offered_total")
+        assert funnel is not None
+        assert funnel.value == interleaved.captcha.stats.offered
+
     def test_records_keep_submission_order(
         self, make_network, entry_url, interleaved
     ):
