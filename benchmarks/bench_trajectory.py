@@ -44,7 +44,7 @@ from test_bench_ingress import (  # noqa: E402
     _suite_trace,
 )
 
-PR_NUMBER = 6
+PR_NUMBER = 7
 
 
 def _cores() -> int:
@@ -65,6 +65,11 @@ def main(argv: list[str] | None = None) -> int:
         choices=("serial", "thread", "process"),
     )
     parser.add_argument(
+        "--lanes-per-node", type=int, default=SHARDS,
+        help="ingress lanes per node: 1 = per-node lanes (the pre-PR-7 "
+             f"layout), {SHARDS} = one lane per state shard (default)",
+    )
+    parser.add_argument(
         "--out",
         default=os.path.join(
             os.path.dirname(__file__), f"BENCH_{PR_NUMBER}.json"
@@ -83,7 +88,12 @@ def main(argv: list[str] | None = None) -> int:
 
     records = _suite_trace(args.sessions)
     started = time.perf_counter()
-    result = _replay(records, executor=args.executor, queue_depth=4096)
+    result = _replay(
+        records,
+        executor=args.executor,
+        queue_depth=4096,
+        lanes_per_node=args.lanes_per_node,
+    )
     elapsed = time.perf_counter() - started
     assert result.requests_replayed == len(records)
 
@@ -97,7 +107,8 @@ def main(argv: list[str] | None = None) -> int:
         "sessions": args.sessions,
         "requests": len(records),
         "executor": args.executor,
-        "lanes": N_NODES,
+        "lanes": N_NODES * args.lanes_per_node,
+        "lanes_per_node": args.lanes_per_node,
         "shards": SHARDS,
         "elapsed_seconds": round(elapsed, 3),
         "sessions_per_sec": round(args.sessions / elapsed, 1),

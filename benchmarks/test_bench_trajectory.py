@@ -1,0 +1,96 @@
+"""Trajectory guard: committed BENCH_*.json files must not cliff.
+
+Each PR commits one ``BENCH_<n>.json`` produced by
+``bench_trajectory.py``.  This check reads the two most recent files
+and fails if throughput fell off a cliff between them — a regression
+becomes a red test in the PR that introduced it, not an archaeology
+exercise over CI artifacts.
+
+The committed numbers are single runs on whatever machine produced
+them, so the band is deliberately generous (30%): it exists to catch
+"we made replay 3x slower", not to litigate scheduler noise.  When the
+two files were produced in different environments (core count, python
+minor, lane topology) sessions/sec is not comparable and the check
+skips with an explanation instead of guessing.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+TOLERANCE = 0.70  # latest must keep >= 70% of the prior sessions/sec
+
+_HERE = os.path.dirname(__file__)
+
+
+def _trajectory() -> list[dict]:
+    payloads = []
+    for path in glob.glob(os.path.join(_HERE, "BENCH_*.json")):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["_file"] = os.path.basename(path)
+        payloads.append(payload)
+    return sorted(payloads, key=lambda p: p["pr"])
+
+
+def _environment(payload: dict) -> tuple:
+    python_minor = ".".join(payload["python"].split(".")[:2])
+    return (
+        payload["cores"],
+        python_minor,
+        payload["bench"],
+        payload["executor"],
+        payload.get("lanes"),
+        payload.get("shards"),
+        payload["sessions"],
+    )
+
+
+def test_sessions_per_sec_keeps_the_trajectory():
+    trajectory = _trajectory()
+    if len(trajectory) < 2:
+        pytest.skip("need two committed BENCH_*.json files to compare")
+    prior, latest = trajectory[-2], trajectory[-1]
+    if _environment(prior) != _environment(latest):
+        pytest.skip(
+            f"{prior['_file']} and {latest['_file']} were produced in "
+            f"different environments ({_environment(prior)} vs "
+            f"{_environment(latest)}): sessions/sec not comparable"
+        )
+    floor = prior["sessions_per_sec"] * TOLERANCE
+    assert latest["sessions_per_sec"] >= floor, (
+        f"{latest['_file']}: {latest['sessions_per_sec']} sessions/sec "
+        f"is below {TOLERANCE:.0%} of {prior['_file']}'s "
+        f"{prior['sessions_per_sec']} — the suite got materially "
+        "slower between these PRs"
+    )
+
+
+def test_committed_trajectory_files_are_well_formed():
+    trajectory = _trajectory()
+    assert trajectory, "no committed BENCH_*.json files found"
+    required = {
+        "bench",
+        "pr",
+        "sessions",
+        "requests",
+        "executor",
+        "lanes",
+        "shards",
+        "elapsed_seconds",
+        "sessions_per_sec",
+        "requests_per_sec",
+        "python",
+        "cores",
+    }
+    prs = [p["pr"] for p in trajectory]
+    assert prs == sorted(set(prs)), "duplicate or unsorted PR numbers"
+    for payload in trajectory:
+        missing = required - payload.keys()
+        assert not missing, f"{payload['_file']} lacks {sorted(missing)}"
+        assert payload["sessions_per_sec"] > 0
+        assert payload["requests_per_sec"] > 0

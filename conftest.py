@@ -1,0 +1,83 @@
+"""Repo-root pytest configuration: deadlock protection for lane tests.
+
+Process-lane tests can deadlock rather than fail if a queue handshake
+regresses, which turns one broken test into a hung CI job.  Every test
+therefore runs under a timeout:
+
+* with the real ``pytest-timeout`` plugin installed (CI does this), it
+  enforces the limit; per-test ``@pytest.mark.timeout(N)`` overrides
+  work as documented;
+* without it, a minimal SIGALRM watchdog below enforces the same
+  semantics on POSIX mains threads, so a plain ``pytest`` run in a
+  bare environment still fails fast instead of hanging.
+
+The fallback deliberately stays tiny: one alarm per test, marker
+override honoured, no timeout for non-main threads or platforms
+without SIGALRM (those fall back to no enforcement, matching the
+pre-timeout status quo).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 300.0
+
+_HAVE_PYTEST_TIMEOUT = True
+try:  # the container image may not ship the plugin
+    import pytest_timeout  # noqa: F401
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        # The marker is normally registered by the plugin; keep
+        # ``@pytest.mark.timeout(...)`` valid under --strict-markers.
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer "
+            "(fallback watchdog; pytest-timeout not installed)",
+        )
+
+
+def _timeout_for(item) -> float | None:
+    marker = item.get_closest_marker("timeout")
+    if marker is None:
+        return DEFAULT_TIMEOUT_SECONDS
+    if marker.args:
+        return float(marker.args[0])
+    if "timeout" in marker.kwargs:
+        return float(marker.kwargs["timeout"])
+    return DEFAULT_TIMEOUT_SECONDS
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PYTEST_TIMEOUT or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = _timeout_for(item)
+    if not seconds or seconds <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded {seconds:g}s "
+            "(fallback timeout watchdog)"
+        )
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _expired)
+    except ValueError:  # not the main thread; no enforcement
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -127,6 +127,12 @@ def build_record_parser() -> argparse.ArgumentParser:
              "pipelined (0 = unbounded)",
     )
     parser.add_argument(
+        "--lanes-per-node", type=int, default=1,
+        help="ingress lanes per node for --mode pipelined: 1 runs the "
+             "whole node per lane; the detection shard count runs one "
+             "lane per state shard (lane count never changes results)",
+    )
+    parser.add_argument(
         "--metrics-out", default=None,
         help="write the run's metrics snapshot as repro.obs JSON",
     )
@@ -189,6 +195,12 @@ def build_replay_parser() -> argparse.ArgumentParser:
         "--shed", action="store_true",
         help="shed (and count) instead of blocking when a lane queue "
              "is full (needs --executor and --queue-depth)",
+    )
+    parser.add_argument(
+        "--lanes-per-node", type=int, default=1,
+        help="ingress lanes per node: 1 runs the whole node per lane; "
+             "the detection shard count runs one lane per state shard "
+             "(needs --executor; lane count never changes results)",
     )
     parser.add_argument(
         "--score-rounds", type=int, default=0,
@@ -283,6 +295,7 @@ def run_record(argv: list[str]) -> int:
             shards=args.shards,
             executor=args.executor,
             queue_depth=args.queue_depth or None,
+            lanes_per_node=args.lanes_per_node,
         ),
     )
     try:
@@ -381,6 +394,7 @@ def run_replay(argv: list[str]) -> int:
             executor=args.executor,
             queue_depth=args.queue_depth or None,
             shed=args.shed,
+            lanes_per_node=args.lanes_per_node,
             scorer_model=(
                 _demo_model(args.score_rounds) if args.score_rounds
                 else None

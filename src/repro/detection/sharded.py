@@ -4,13 +4,15 @@ A single :class:`~repro.detection.service.DetectionService` keys every
 live session in one dictionary — correct, but a single lock domain once
 the pipeline moves toward concurrent or multiprocess execution, and a
 single cache-unfriendly blob at CoDeeN scale (~930k sessions/week).
-:class:`ShardedDetectionService` splits the session space instead: each
-``<IP, User-Agent>`` :class:`~repro.detection.session.SessionKey` is
-assigned to one of ``n_shards`` independent shards by a stable hash, and
-each shard owns a full :class:`DetectionService` — its own
+:class:`ShardedDetectionService` splits the session space instead: every
+client IP is assigned to one of ``n_shards`` independent shards by the
+stable :func:`repro.state.partition.partition_index` hash (all of an
+IP's sessions, whatever their User-Agent, share a shard), and each
+shard owns a full :class:`DetectionService` — its own
 :class:`~repro.detection.tracker.SessionTracker`, detectors, classifier
-and policy — over a *shared* instrumentation registry (the registry is
-already partitioned per client IP, so shards never contend on keys).
+and policy — plus its own :class:`InstrumentationRegistry` partition of
+the probe table, so a shard is a self-contained unit of state that can
+run as its own ingress lane.
 
 Determinism is the design constraint: the shard hash depends only on the
 session key, every shard processes its own requests in arrival order,
@@ -29,7 +31,6 @@ slots in without touching callers.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -42,25 +43,28 @@ from repro.detection.session import SessionState
 from repro.detection.set_algebra import SessionSets
 from repro.http.message import Request, Response
 from repro.instrument.keys import InstrumentationRegistry
+from repro.state.partition import partition_index
+from repro.state.stores import PartitionedRegistry
 from repro.util.timeutil import HOUR
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
-def shard_index(client_ip: str, user_agent: str, n_shards: int) -> int:
-    """Stable shard assignment for a session key.
+def shard_index(client_ip: str, n_shards: int) -> int:
+    """Stable shard assignment for a client IP.
 
-    Uses the same keyed-hash family as :meth:`ProxyNetwork.node_for` so
-    placement is reproducible across runs, platforms and Python builds
-    (``hash()`` is salted per process and cannot be used here).
+    Shards are keyed by client IP alone (not the full ``<IP, UA>``
+    session key): the probe registry, rate-limit buckets and proxy
+    cache are all partitioned per IP, so a shard can only be a
+    self-contained lane of execution if *every* session of an IP —
+    whatever its User-Agent — lands on the shard that owns that IP's
+    state partition.  This is the same hash
+    :func:`repro.state.partition.partition_index` the partitioned
+    stores and the ingress lane router use; ``hash()`` is salted per
+    process and cannot be used here.
     """
-    if n_shards <= 1:
-        return 0
-    digest = hashlib.blake2b(
-        f"{client_ip}\x1f{user_agent}".encode("utf-8"), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "little") % n_shards
+    return partition_index(client_ip, n_shards)
 
 
 def _session_order(state: SessionState) -> tuple[float, str, str]:
@@ -163,7 +167,7 @@ class ShardedDetectionService:
 
     def __init__(
         self,
-        registry: InstrumentationRegistry,
+        registry: InstrumentationRegistry | PartitionedRegistry,
         n_shards: int = 1,
         idle_timeout: float = HOUR,
         min_requests: int = 10,
@@ -176,12 +180,18 @@ class ShardedDetectionService:
             raise ValueError("n_shards must be >= 1")
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1 when given")
-        self._registry = registry
+        # The probe table is re-partitioned to one registry partition
+        # per shard, keyed by the same IP hash that routes requests to
+        # shards — shard i owns exactly the probe state its requests
+        # can touch, so a shard (plus its partitions) is a complete,
+        # independently executable lane of state.  Existing probes and
+        # listeners migrate into the new layout.
+        self._registry = PartitionedRegistry.migrate(registry, n_shards)
         # Distinct id prefixes keep session ids unique network-wide
         # without any cross-shard coordination.
         self.shards: list[DetectionService] = [
             DetectionService(
-                registry,
+                self._registry.partition(index),
                 idle_timeout=idle_timeout,
                 min_requests=min_requests,
                 online_config=online_config,
@@ -210,8 +220,8 @@ class ShardedDetectionService:
         return self._max_workers
 
     @property
-    def registry(self) -> InstrumentationRegistry:
-        """The probe table all shards share (partitioned per IP)."""
+    def registry(self) -> PartitionedRegistry:
+        """The IP-partitioned probe table (one partition per shard)."""
         return self._registry
 
     @property
@@ -224,13 +234,17 @@ class ShardedDetectionService:
         """Whether the robot policy is consulted per request."""
         return self.shards[0].enforce_policy
 
-    def shard_index_for(self, client_ip: str, user_agent: str) -> int:
-        """Which shard owns a session key."""
-        return shard_index(client_ip, user_agent, self.n_shards)
+    def shard_index_for(
+        self, client_ip: str, user_agent: str = ""
+    ) -> int:
+        """Which shard owns a client IP (the UA no longer matters)."""
+        return shard_index(client_ip, self.n_shards)
 
-    def shard_for(self, client_ip: str, user_agent: str) -> DetectionService:
-        """The shard service owning a session key."""
-        return self.shards[self.shard_index_for(client_ip, user_agent)]
+    def shard_for(
+        self, client_ip: str, user_agent: str = ""
+    ) -> DetectionService:
+        """The shard service owning a client IP."""
+        return self.shards[self.shard_index_for(client_ip)]
 
     # -- metrics ------------------------------------------------------------
 
@@ -429,9 +443,10 @@ def shard_service(
 ) -> ShardedDetectionService:
     """Re-partition an (untouched) service's config across ``n_shards``.
 
-    The existing instrumentation registry is kept — probe registrations
-    survive — but session state must be empty: re-hashing live sessions
-    between shard layouts is not supported.
+    The instrumentation registry's contents migrate into the new
+    layout — probe registrations and listeners survive — but session
+    state must be empty: re-hashing live sessions between shard
+    layouts is not supported.
     """
     if service.tracker.total_started > 0:
         raise RuntimeError(

@@ -32,6 +32,7 @@ from repro.ingress.queues import ShedPolicy
 from repro.ingress.workers import LaneResult
 from repro.detection.online import DetectionLatency
 from repro.detection.session import SessionState
+from repro.detection.sharded import _session_order
 from repro.detection.set_algebra import SessionSets
 from repro.ml.adaboost import AdaBoostModel
 from repro.ml.batch import BatchVerdict
@@ -42,6 +43,7 @@ from repro.obs.registry import (
     merge_snapshots,
 )
 from repro.proxy.network import NetworkStats, ProxyNetwork
+from repro.state.partition import partition_index
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,11 @@ class IngressConfig:
     policy: ShedPolicy = ShedPolicy.BLOCK
     chunk_size: int = 256
     housekeeping_interval: float = 600.0
+    #: Lane granularity: 1 = one lane per node (the node is the lane
+    #: state); a value equal to each node's detection shard count hands
+    #: every :class:`~repro.proxy.node.NodeShard` out as its own lane,
+    #: so the process executor scales with cores instead of node count.
+    lanes_per_node: int = 1
     batch: MicroBatchConfig = field(default_factory=MicroBatchConfig)
     scorer_model: AdaBoostModel | None = None
     #: Virtual-time sampling interval for the flight recorder
@@ -89,6 +96,8 @@ class IngressConfig:
             raise ValueError("chunk_size must be >= 1")
         if self.housekeeping_interval < 0:
             raise ValueError("housekeeping_interval must be non-negative")
+        if self.lanes_per_node < 1:
+            raise ValueError("lanes_per_node must be >= 1")
 
 
 @dataclass
@@ -134,10 +143,12 @@ class IngressPipeline:
         config: IngressConfig | None = None,
     ) -> None:
         config = config or IngressConfig()
-        if len(workers) != len(network.nodes):
+        expected = len(network.nodes) * config.lanes_per_node
+        if len(workers) != expected:
             raise ValueError(
-                f"need one worker per node: {len(workers)} workers for "
-                f"{len(network.nodes)} nodes"
+                f"need one worker per (node, shard) lane: {len(workers)} "
+                f"workers for {len(network.nodes)} nodes x "
+                f"{config.lanes_per_node} lanes_per_node = {expected}"
             )
         if config.executor == "process" and (
             network.taps
@@ -145,7 +156,7 @@ class IngressPipeline:
                 node.detection.registry.has_listeners
                 for node in network.nodes
             )
-            or any(node.metrics.has_listeners for node in network.nodes)
+            or any(node.has_metric_listeners for node in network.nodes)
         ):
             raise ValueError(
                 "traffic taps / registry listeners / metrics listeners "
@@ -183,12 +194,22 @@ class IngressPipeline:
 
     @property
     def n_lanes(self) -> int:
-        """How many per-node lanes events are partitioned across."""
+        """How many lanes events are partitioned across."""
         return self._executor.n_lanes
 
     def lane_for(self, client_ip: str) -> int:
-        """Stable lane assignment: the client's sticky node index."""
-        return self._network.node_index_for(client_ip)
+        """Stable lane assignment: sticky node index, then state shard.
+
+        With ``lanes_per_node`` L, node i's shards occupy lanes
+        ``i*L .. i*L+L-1``; the within-node offset is the same IP hash
+        the partitioned stores shard on, so a lane's events touch
+        exactly the state that lane carries.
+        """
+        node_index = self._network.node_index_for(client_ip)
+        lanes = self._config.lanes_per_node
+        if lanes <= 1:
+            return node_index
+        return node_index * lanes + partition_index(client_ip, lanes)
 
     def submit(self, event, client_ip: str, force: bool = False) -> bool:
         """Admit one event; False when the shed policy refused it.
@@ -256,8 +277,6 @@ class IngressPipeline:
             # is either queued (and eventually handled) or shed.
             lane.stats.queued += counters.enqueued
             lane.stats.shed += counters.shed
-            result.sessions.extend(lane.sessions)
-            result.latencies.extend(lane.latencies)
             result.ml_verdicts.extend(lane.ml_verdicts)
             result.stats.absorb(lane.stats)
             result.handled += lane.handled
@@ -266,6 +285,28 @@ class IngressPipeline:
                 firsts.append(lane.first_timestamp)
             if lane.last_timestamp is not None:
                 lasts.append(lane.last_timestamp)
+        lanes_per_node = self._config.lanes_per_node
+        if lanes_per_node <= 1:
+            for lane in lane_results:
+                result.sessions.extend(lane.sessions)
+                result.latencies.extend(lane.latencies)
+        else:
+            # Per-shard lanes: regroup each node's shard lanes and merge
+            # their sessions in the same deterministic order the sharded
+            # service's own reductions use, latencies riding along with
+            # their sessions — so the merged lists are byte-identical to
+            # the one-lane-per-node layout.
+            for start in range(0, len(lane_results), lanes_per_node):
+                pairs = [
+                    (session, latency)
+                    for lane in lane_results[start : start + lanes_per_node]
+                    for session, latency in zip(
+                        lane.sessions, lane.latencies
+                    )
+                ]
+                pairs.sort(key=lambda pair: _session_order(pair[0]))
+                result.sessions.extend(pair[0] for pair in pairs)
+                result.latencies.extend(pair[1] for pair in pairs)
         result.queued = result.stats.queued
         result.shed = result.stats.shed
         result.first_timestamp = min(firsts) if firsts else 0.0
@@ -313,18 +354,26 @@ class IngressPipeline:
 def replay_workers(
     network: ProxyNetwork, config: IngressConfig
 ) -> list:
-    """One :class:`ReplayLaneWorker` per node, configured from ``config``."""
+    """One :class:`ReplayLaneWorker` per lane state, from ``config``.
+
+    ``lanes_per_node == 1`` wraps each node; larger values hand out each
+    node's :class:`~repro.proxy.node.NodeShard` as its own lane (the
+    node refuses counts that do not match its shard layout).
+    """
     from repro.ingress.workers import ReplayLaneWorker
 
-    return [
-        ReplayLaneWorker(
-            lane,
-            node,
-            housekeeping_interval=config.housekeeping_interval,
-            scorer_model=config.scorer_model,
-            batch=config.batch,
-            taps=network.taps,
-            flight_interval=config.flight_interval,
-        )
-        for lane, node in enumerate(network.nodes)
-    ]
+    workers = []
+    for node in network.nodes:
+        for state in node.lane_states(config.lanes_per_node):
+            workers.append(
+                ReplayLaneWorker(
+                    len(workers),
+                    state,
+                    housekeeping_interval=config.housekeeping_interval,
+                    scorer_model=config.scorer_model,
+                    batch=config.batch,
+                    taps=network.taps,
+                    flight_interval=config.flight_interval,
+                )
+            )
+    return workers

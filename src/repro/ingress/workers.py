@@ -1,11 +1,16 @@
 """Lane workers: the per-lane consumers the executors drive.
 
-A lane wraps one :class:`~repro.proxy.node.ProxyNode` — the unit of the
-codebase that is already fully self-contained (detection shards, probe
-registry, cache, rate limiter, counters all live on the node, and the
-network routes each client IP to exactly one node).  That containment is
-what makes lanes safe to run on threads or in separate processes with no
-locks and no cross-talk: a lane's events touch that lane's state only.
+A lane wraps one self-contained unit of state: a whole
+:class:`~repro.proxy.node.ProxyNode` (the classic one-lane-per-node
+layout) or, since the state-partitioning refactor, a single
+:class:`~repro.proxy.node.NodeShard` — one detection shard plus its
+own probe-registry, cache and rate-limiter partitions.  Either way the
+containment property holds: a lane's events touch that lane's state
+only, which is what makes lanes safe to run on threads or in separate
+processes with no locks and no cross-talk.  The two classes expose the
+same surface (``handle_traced``, ``detection``, ``metrics``, ``stats``,
+``housekeeping``, ``metrics_snapshot``), so workers are agnostic to
+lane granularity.
 
 Two worker flavours:
 
@@ -42,7 +47,7 @@ from repro.obs.registry import (
     WALL_SECONDS_BUCKETS,
     MetricsSnapshot,
 )
-from repro.proxy.node import NodeStats, ProxyNode
+from repro.proxy.node import NodeShard, NodeStats, ProxyNode
 from repro.util.rng import RngStream
 from repro.workload.session_run import SessionRecord
 
@@ -90,7 +95,7 @@ class ReplayLaneWorker:
     def __init__(
         self,
         lane: int,
-        node: ProxyNode,
+        node: ProxyNode | NodeShard,
         housekeeping_interval: float = 600.0,
         scorer_model: AdaBoostModel | None = None,
         batch: MicroBatchConfig | None = None,
@@ -132,7 +137,9 @@ class ReplayLaneWorker:
         self._lane_clock: float | None = None
         self._flight = (
             FlightRecorder(
-                flight_interval, node.metrics, prepare=node.export_metrics
+                flight_interval,
+                node.metrics,
+                snapshot=node.metrics_snapshot,
             )
             if flight_interval
             else None
@@ -226,7 +233,7 @@ class WorkloadLaneWorker:
     def __init__(
         self,
         lane: int,
-        node: ProxyNode,
+        node: ProxyNode | NodeShard,
         budget,
         collect_features: bool,
         housekeeping_interval: float,
@@ -256,7 +263,9 @@ class WorkloadLaneWorker:
         )
         self._flight = (
             FlightRecorder(
-                flight_interval, node.metrics, prepare=node.export_metrics
+                flight_interval,
+                node.metrics,
+                snapshot=node.metrics_snapshot,
             )
             if flight_interval
             else None

@@ -81,7 +81,22 @@ class InstrumentationRegistry:
         # journals them so replays can rebuild this table).
         self._listeners: list[Callable[[RegisteredProbe], None]] = []
 
+    @property
+    def ttl(self) -> float:
+        """Probe lifetime in seconds."""
+        return self._ttl
+
+    @property
+    def per_ip_cap(self) -> int:
+        """Maximum outstanding probes per client IP."""
+        return self._per_ip_cap
+
     # -- registration -----------------------------------------------------
+
+    @property
+    def listeners(self) -> tuple[Callable[[RegisteredProbe], None], ...]:
+        """The attached registration observers (for state migration)."""
+        return tuple(self._listeners)
 
     @property
     def has_listeners(self) -> bool:
@@ -105,6 +120,16 @@ class InstrumentationRegistry:
         """Add a probe; evicts the oldest entries past the per-IP cap."""
         for listener in self._listeners:
             listener(probe)
+        self.load(probe)
+
+    def load(self, probe: RegisteredProbe) -> None:
+        """Insert a probe without notifying listeners.
+
+        Used when migrating entries between registry layouts (e.g.
+        re-partitioning for sharded detection): the probes were already
+        journaled when first registered, so re-firing listeners would
+        duplicate them in the recording.
+        """
         table = self._by_ip.setdefault(probe.client_ip, OrderedDict())
         table[probe.path] = probe
         table.move_to_end(probe.path)
@@ -152,6 +177,15 @@ class InstrumentationRegistry:
     def outstanding(self, client_ip: str) -> list[RegisteredProbe]:
         """All live probes registered for an IP (oldest first)."""
         return list(self._by_ip.get(client_ip, OrderedDict()).values())
+
+    def iter_probes(self):
+        """Yield every live probe, per-IP FIFO order preserved.
+
+        The order matters: :meth:`load`-ing the yielded sequence into a
+        fresh registry reproduces the same eviction order per IP.
+        """
+        for table in self._by_ip.values():
+            yield from table.values()
 
     def __len__(self) -> int:
         return sum(len(table) for table in self._by_ip.values())

@@ -118,6 +118,7 @@ class PageInstrumenter:
         self._rng = rng
         self._config = config or InstrumentConfig()
         self._pages_instrumented = 0
+        self._ip_seq: dict[str, int] = {}
 
     @property
     def config(self) -> InstrumentConfig:
@@ -158,7 +159,19 @@ class PageInstrumenter:
         now: float,
     ) -> _ProbePlan:
         cfg = self._config
-        rng = self._rng
+        # Probe randomness is derived per request, not drawn from a
+        # shared sequential stream: the split is keyed on (client,
+        # per-client sequence number), so the generated keys depend only
+        # on how many pages *this* client had instrumented before —
+        # never on how many requests other clients interleaved.  A
+        # client's event subsequence is identical under every shard
+        # count, lane layout and executor (the admission contract pins
+        # per-client order, and an IP always hashes to one shard), so
+        # instrumentation is invariant to all of them while staying
+        # fresh per call even for identical (page, timestamp) repeats.
+        seq = self._ip_seq.get(client_ip, 0)
+        self._ip_seq[client_ip] = seq + 1
+        rng = self._rng.split(f"page|{client_ip}|{seq}")
         host = page_url.host
         plan = _ProbePlan()
         head_parts: list[str] = []

@@ -37,13 +37,17 @@ class FlightRecorder:
 
     ``prepare`` (optional) runs just before each sample — the hook that
     lets a node collect its authoritative stats objects into registry
-    counters so frames reflect them.  Registry listeners fire once per
-    emitted frame.
+    counters so frames reflect them.  ``snapshot`` (optional) replaces
+    ``registry.snapshot()`` as the frame source: a node whose state is
+    partitioned across several shard registries passes its merging
+    ``metrics_snapshot`` here so frames cover every partition (the
+    ``registry`` is still the one whose listeners fire per frame).
     """
 
     interval: float
     registry: MetricsRegistry
     prepare: Optional[Callable[[], None]] = None
+    snapshot: Optional[Callable[[], MetricsSnapshot]] = None
     frames: list = field(default_factory=list)
     _last_tick: Optional[float] = field(default=None, repr=False)
 
@@ -62,7 +66,12 @@ class FlightRecorder:
         self._last_tick = boundary
         if self.prepare is not None:
             self.prepare()
-        frame = FlightFrame(tick=boundary, metrics=self.registry.snapshot())
+        metrics = (
+            self.snapshot()
+            if self.snapshot is not None
+            else self.registry.snapshot()
+        )
+        frame = FlightFrame(tick=boundary, metrics=metrics)
         self.frames.append(frame)
         for listener in self.registry.listeners:
             listener(frame)

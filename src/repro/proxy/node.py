@@ -9,17 +9,26 @@ The request path mirrors an instrumented CoDeeN node:
 5. cache lookup for static objects;
 6. origin forwarding; 200 HTML responses are instrumented per client and
    marked uncacheable before delivery.
+
+Since the state-partitioning refactor the node is a *router over
+shards*: every piece of per-client mutable state — the detection
+shard, its probe-registry partition, the cache partition and the
+rate-limit buckets — lives inside a :class:`NodeShard`, keyed by the
+stable client-IP hash (:func:`repro.state.partition.partition_index`).
+The full request path runs inside the owning shard, so a shard is a
+self-contained lane of execution: the ingress can run one process
+lane per ``(node, shard)`` instead of one per node, and the node
+merely merges shard stats and metrics for its callers.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 from repro.detection.service import DetectionService, RequestOutcome
 from repro.detection.sharded import ShardedDetectionService, shard_service
 from repro.http.content import ContentKind
-from repro.http.headers import Headers
 from repro.http.message import Request, Response, error_response
 from repro.instrument.keys import InstrumentationRegistry
 from repro.instrument.rewriter import (
@@ -32,7 +41,11 @@ from repro.obs.registry import WALL_SECONDS_BUCKETS, MetricsRegistry
 from repro.proxy.cache import ProxyCache
 from repro.proxy.ratelimit import RateLimitConfig, TokenBucketLimiter
 from repro.site.origin import OriginServer
+from repro.state.partition import partition_index
+from repro.state.stores import PartitionedCache, PartitionedLimiter
 from repro.util.rng import RngStream
+
+__all__ = ["NodeStats", "NodeShard", "ProxyNode"]
 
 
 @dataclass
@@ -56,6 +69,15 @@ class NodeStats:
     queued: int = 0
     shed: int = 0
 
+    def absorb(self, other: "NodeStats") -> None:
+        """Fold another stats block into this one (field-wise sums)."""
+        for field_ in fields(NodeStats):
+            setattr(
+                self,
+                field_.name,
+                getattr(self, field_.name) + getattr(other, field_.name),
+            )
+
     @property
     def beacon_bandwidth_fraction(self) -> float:
         """Fraction of served bytes that are probe objects.
@@ -76,52 +98,69 @@ class NodeStats:
         return self.instrumentation_markup_bytes / self.bytes_served
 
 
-class ProxyNode:
-    """One proxy node with its own registry, detector, cache and limiter."""
+class NodeShard:
+    """One IP partition of a node's state, plus the request path over it.
+
+    Owns a detection shard, that shard's probe-registry partition, a
+    cache partition and a rate-limiter partition — everything the
+    requests routed here can touch, and nothing another shard's
+    requests can.  Pickles cleanly, so the process executor can ship a
+    shard to a child interpreter as a complete lane state.
+    """
+
+    _EXPORTED_STATS = (
+        "requests",
+        "rate_limited",
+        "policy_blocked",
+        "beacon_requests",
+        "origin_requests",
+        "cache_hits",
+        "pages_instrumented",
+        "bytes_served",
+        "beacon_bytes_served",
+        "instrumentation_markup_bytes",
+    )
 
     def __init__(
         self,
         node_id: str,
+        shard_id: int,
         origins: dict[str, OriginServer],
-        rng: RngStream,
-        instrument_config: InstrumentConfig | None = None,
-        rate_limit: RateLimitConfig | None = None,
-        detection: DetectionService | ShardedDetectionService | None = None,
+        detection: DetectionService,
+        cache: ProxyCache,
+        limiter: TokenBucketLimiter | None,
+        instrumenter: PageInstrumenter,
         instrument_enabled: bool = True,
-        detection_shards: int = 0,
     ) -> None:
-        if detection is not None and detection_shards:
-            raise ValueError(
-                "pass either a detection service or detection_shards, "
-                "not both"
-            )
         self.node_id = node_id
+        self.shard_id = shard_id
+        self.shard_label = f"{shard_id:02d}"
         self._origins = origins
-        if detection is not None:
-            self.detection = detection
-        elif detection_shards:
-            self.detection = ShardedDetectionService(
-                InstrumentationRegistry(), n_shards=detection_shards
-            )
-        else:
-            self.detection = DetectionService(InstrumentationRegistry())
-        self.instrumenter = PageInstrumenter(
-            self.detection.registry,
-            rng.split(f"instrumenter-{node_id}"),
-            instrument_config,
-        )
-        self.cache = ProxyCache()
-        self.limiter = TokenBucketLimiter(rate_limit) if rate_limit else None
+        self.detection = detection
+        self.cache = cache
+        self.limiter = limiter
+        self.instrumenter = instrumenter
         self.instrument_enabled = instrument_enabled
         self.stats = NodeStats()
         self.metrics = MetricsRegistry()
+        labels = {"node": node_id, "shard": self.shard_label}
         self._handle_seconds = self.metrics.histogram(
             "repro_proxy_handle_seconds",
             WALL_SECONDS_BUCKETS,
-            {"node": node_id},
+            labels,
             wall=True,
         )
-        self._attach_detection_metrics()
+        self._detection_seconds = self.metrics.histogram(
+            "repro_detection_seconds",
+            WALL_SECONDS_BUCKETS,
+            labels,
+            wall=True,
+        )
+        self._detection_requests = self.metrics.counter(
+            "repro_detection_requests_total", labels
+        )
+
+    # -- request path -------------------------------------------------------
 
     def handle(self, request: Request) -> Response:
         """Process one client request end to end."""
@@ -191,6 +230,13 @@ class ProxyNode:
 
     # -- internals ----------------------------------------------------------
 
+    def _run_detection(self, request: Request) -> RequestOutcome:
+        started = time.perf_counter()
+        outcome = self.detection.handle_request(request)
+        self._detection_seconds.observe(time.perf_counter() - started)
+        self._detection_requests.inc()
+        return outcome
+
     def _forward(self, request: Request) -> Response:
         origin = self._origins.get(request.url.host)
         self.stats.origin_requests += 1
@@ -220,59 +266,31 @@ class ProxyNode:
         if beacon:
             self.stats.beacon_bytes_served += response.size
 
+    # -- maintenance --------------------------------------------------------
+
+    def housekeeping(self, now: float) -> None:
+        """Sweep this shard's partitions: idle sessions, stale probes,
+        expired cache entries, replenished rate-limit buckets."""
+        self.detection.tracker.expire_idle(now)
+        self.detection.registry.expire_before(now)
+        self.cache.sweep(now)
+        if self.limiter is not None:
+            self.limiter.evict_replenished(now)
+
     # -- metrics ------------------------------------------------------------
-
-    def _attach_detection_metrics(self) -> None:
-        """Per-shard detection timing; single-service nodes are shard 00."""
-        if isinstance(self.detection, ShardedDetectionService):
-            self.detection.attach_metrics(self.metrics, self.node_id)
-            self._detection_seconds = None
-            self._detection_requests = None
-        else:
-            labels = {"node": self.node_id, "shard": "00"}
-            self._detection_seconds = self.metrics.histogram(
-                "repro_detection_seconds",
-                WALL_SECONDS_BUCKETS,
-                labels,
-                wall=True,
-            )
-            self._detection_requests = self.metrics.counter(
-                "repro_detection_requests_total", labels
-            )
-
-    def _run_detection(self, request: Request) -> RequestOutcome:
-        if self._detection_seconds is None:
-            # Sharded: the service times per shard via attach_metrics.
-            return self.detection.handle_request(request)
-        started = time.perf_counter()
-        outcome = self.detection.handle_request(request)
-        self._detection_seconds.observe(time.perf_counter() - started)
-        self._detection_requests.inc()
-        return outcome
-
-    _EXPORTED_STATS = (
-        "requests",
-        "rate_limited",
-        "policy_blocked",
-        "beacon_requests",
-        "origin_requests",
-        "cache_hits",
-        "pages_instrumented",
-        "bytes_served",
-        "beacon_bytes_served",
-        "instrumentation_markup_bytes",
-    )
 
     def export_metrics(self) -> None:
         """Collect authoritative stats objects into registry counters.
 
         Idempotent (``Counter.set``), so snapshots and flight-recorder
-        frames can re-collect at will.  ``NodeStats.queued``/``shed``
-        are deliberately absent: the ingress accounts admission on the
+        frames can re-collect at will.  Every family carries
+        ``{node, shard}`` labels: the shard is the unit of state, the
+        node a grouping of shards.  ``NodeStats.queued``/``shed`` are
+        deliberately absent: the ingress accounts admission on the
         parent side, and lane merges fold them into ``NodeStats`` after
         the fact — exporting them here would double-count.
         """
-        labels = {"node": self.node_id}
+        labels = {"node": self.node_id, "shard": self.shard_label}
         metrics = self.metrics
         for name in self._EXPORTED_STATS:
             metrics.counter(f"repro_proxy_{name}_total", labels).set(
@@ -291,24 +309,203 @@ class ProxyNode:
             metrics.gauge("repro_ratelimit_buckets", labels).set(
                 len(self.limiter)
             )
-        shards = (
-            self.detection.shards
-            if isinstance(self.detection, ShardedDetectionService)
-            else [self.detection]
+        metrics.gauge("repro_detection_sessions_live", labels).set(
+            self.detection.tracker.live_count
         )
-        for index, shard in enumerate(shards):
-            shard_labels = {"node": self.node_id, "shard": f"{index:02d}"}
-            metrics.gauge(
-                "repro_detection_sessions_live", shard_labels
-            ).set(shard.tracker.live_count)
-            metrics.counter(
-                "repro_detection_sessions_started_total", shard_labels
-            ).set(shard.tracker.total_started)
+        metrics.counter(
+            "repro_detection_sessions_started_total", labels
+        ).set(self.detection.tracker.total_started)
 
     def metrics_snapshot(self, include_wall: bool = True):
         """Export-then-snapshot convenience."""
         self.export_metrics()
         return self.metrics.snapshot(include_wall=include_wall)
+
+
+class ProxyNode:
+    """One proxy node: a router over its IP-partitioned state shards."""
+
+    def __init__(
+        self,
+        node_id: str,
+        origins: dict[str, OriginServer],
+        rng: RngStream,
+        instrument_config: InstrumentConfig | None = None,
+        rate_limit: RateLimitConfig | None = None,
+        detection: DetectionService | ShardedDetectionService | None = None,
+        instrument_enabled: bool = True,
+        detection_shards: int = 0,
+    ) -> None:
+        if detection is not None and detection_shards:
+            raise ValueError(
+                "pass either a detection service or detection_shards, "
+                "not both"
+            )
+        self.node_id = node_id
+        self._origins = origins
+        self._instrument_config = instrument_config
+        self._rate_limit = rate_limit
+        self._instrument_enabled = instrument_enabled
+        # The parent stream is never drawn from directly: the rewriter
+        # derives a child stream per instrumented request, so shard
+        # instrumenters sharing this parent stay deterministic under
+        # any partitioning of the request stream.
+        self._instrument_rng = rng.split(f"instrumenter-{node_id}")
+        if detection is not None:
+            self.detection = detection
+        elif detection_shards:
+            self.detection = ShardedDetectionService(
+                InstrumentationRegistry(), n_shards=detection_shards
+            )
+        else:
+            self.detection = DetectionService(InstrumentationRegistry())
+        self.metrics = MetricsRegistry()
+        self._build_shards()
+
+    def _build_shards(self) -> None:
+        """(Re)derive per-shard state from the current detection layout."""
+        if isinstance(self.detection, ShardedDetectionService):
+            services = self.detection.shards
+            registry_partitions = self.detection.registry.partitions
+        else:
+            services = [self.detection]
+            registry_partitions = [self.detection.registry]
+        n = len(services)
+        self.cache = PartitionedCache(n)
+        self.limiter = (
+            PartitionedLimiter(self._rate_limit, n)
+            if self._rate_limit is not None
+            else None
+        )
+        # Kept for callers that instrument pages directly against the
+        # node; the request path uses the per-shard instrumenters.
+        self.instrumenter = PageInstrumenter(
+            self.detection.registry,
+            self._instrument_rng,
+            self._instrument_config,
+        )
+        self._shards = [
+            NodeShard(
+                self.node_id,
+                index,
+                self._origins,
+                services[index],
+                self.cache.partition(index),
+                # `is not None`: the facades define __len__, so an empty
+                # limiter is falsy and plain truthiness would drop it.
+                (
+                    self.limiter.partition(index)
+                    if self.limiter is not None
+                    else None
+                ),
+                PageInstrumenter(
+                    registry_partitions[index],
+                    self._instrument_rng,
+                    self._instrument_config,
+                ),
+                instrument_enabled=self._instrument_enabled,
+            )
+            for index in range(n)
+        ]
+
+    # -- shard topology -----------------------------------------------------
+
+    @property
+    def state_shards(self) -> list[NodeShard]:
+        """The node's self-contained state shards, in shard order."""
+        return self._shards
+
+    @property
+    def n_state_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_index_for(self, client_ip: str) -> int:
+        """Which state shard owns a client IP."""
+        return partition_index(client_ip, len(self._shards))
+
+    def shard_for(self, client_ip: str) -> NodeShard:
+        return self._shards[self.shard_index_for(client_ip)]
+
+    def lane_states(self, lanes_per_node: int) -> list:
+        """The lane-sized state units for a given lane granularity.
+
+        ``1`` keeps today's one-lane-per-node layout (the node itself
+        is the lane state); a value equal to the detection shard count
+        hands each shard out as its own lane.  Anything else cannot be
+        a total partition of the node's state, so it is refused.
+        """
+        if lanes_per_node <= 1:
+            return [self]
+        if lanes_per_node != len(self._shards):
+            raise ValueError(
+                f"{self.node_id}: lanes_per_node={lanes_per_node} must be "
+                f"1 or match the node's {len(self._shards)} detection "
+                "shard(s) — shards are the only self-contained state "
+                "units lanes can carry"
+            )
+        return list(self._shards)
+
+    @property
+    def instrument_enabled(self) -> bool:
+        """Whether 200-HTML responses get instrumented before delivery."""
+        return self._instrument_enabled
+
+    @instrument_enabled.setter
+    def instrument_enabled(self, value: bool) -> None:
+        self._instrument_enabled = value
+        for shard in self._shards:
+            shard.instrument_enabled = value
+
+    @property
+    def stats(self) -> NodeStats:
+        """Merged traffic accounting across every state shard."""
+        merged = NodeStats()
+        for shard in self._shards:
+            merged.absorb(shard.stats)
+        return merged
+
+    # -- request path -------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Process one client request end to end."""
+        return self.handle_traced(request)[0]
+
+    def handle_traced(
+        self, request: Request
+    ) -> tuple[Response, RequestOutcome | None]:
+        """Route the request to its owning state shard and process it."""
+        return self.shard_for(request.client_ip).handle_traced(request)
+
+    # -- metrics ------------------------------------------------------------
+
+    @property
+    def has_metric_listeners(self) -> bool:
+        """Whether any registry (node- or shard-level) has listeners."""
+        return self.metrics.has_listeners or any(
+            shard.metrics.has_listeners for shard in self._shards
+        )
+
+    def export_metrics(self) -> None:
+        """Collect every shard's authoritative stats into its registry."""
+        for shard in self._shards:
+            shard.export_metrics()
+
+    def metrics_snapshot(self, include_wall: bool = True):
+        """Node-wide snapshot: node registry plus shards, in shard order."""
+        from repro.obs.registry import merge_snapshots
+
+        self.export_metrics()
+        return merge_snapshots(
+            [
+                self.metrics.snapshot(include_wall=include_wall),
+                *(
+                    shard.metrics.snapshot(include_wall=include_wall)
+                    for shard in self._shards
+                ),
+            ]
+        )
+
+    # -- reconfiguration ----------------------------------------------------
 
     def shard_detection(
         self, n_shards: int, max_workers: int | None = None
@@ -317,8 +514,11 @@ class ProxyNode:
 
         Must run before any traffic: session state cannot be re-hashed
         between shard layouts.  The probe registry (and with it any
-        registrations a replay journal already loaded) is preserved.
-        No-op when the node is already sharded to the requested count.
+        registrations a replay journal already loaded) migrates into
+        the new partition layout; caches and rate buckets are empty
+        pre-traffic, so they are simply rebuilt with the new partition
+        count.  No-op when the node is already sharded to the requested
+        count.
         """
         if (
             isinstance(self.detection, ShardedDetectionService)
@@ -339,14 +539,7 @@ class ProxyNode:
         )
         if isinstance(previous, ShardedDetectionService):
             previous.close()
-        # Re-sharding happens pre-traffic, so the old layout's (all-zero)
-        # detection instruments can simply be replaced.
-        for name in (
-            "repro_detection_seconds",
-            "repro_detection_requests_total",
-        ):
-            self.metrics.discard_series(name)
-        self._attach_detection_metrics()
+        self._build_shards()
 
     def close_detection(self) -> None:
         """Release detection-side resources (shard executor threads).
@@ -358,10 +551,7 @@ class ProxyNode:
             self.detection.close()
 
     def housekeeping(self, now: float) -> None:
-        """Periodic maintenance: expire idle sessions, stale probes,
-        expired cache entries and fully replenished rate-limit buckets."""
-        self.detection.tracker.expire_idle(now)
-        self.detection.registry.expire_before(now)
-        self.cache.sweep(now)
-        if self.limiter is not None:
-            self.limiter.evict_replenished(now)
+        """Periodic maintenance, swept per state shard: idle sessions,
+        stale probes, expired cache entries, replenished rate buckets."""
+        for shard in self._shards:
+            shard.housekeeping(now)

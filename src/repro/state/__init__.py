@@ -1,0 +1,28 @@
+"""Key-partitioned state stores.
+
+The paper's detector kept all per-client state (probe table, rate
+buckets, cache) inside one proxy node.  This package splits each of
+those stores into N independent partitions keyed by a stable BLAKE2b
+hash of the client IP, so a *detection shard* — not a whole node — is
+the smallest self-contained state unit and process lanes can run one
+per shard.
+
+:mod:`repro.state.partition` holds the hash itself;
+:mod:`repro.state.stores` wraps the existing registry / limiter /
+cache types in routing facades that preserve their public APIs.
+"""
+
+from repro.state.partition import PartitionMap, partition_index
+from repro.state.stores import (
+    PartitionedCache,
+    PartitionedLimiter,
+    PartitionedRegistry,
+)
+
+__all__ = [
+    "PartitionMap",
+    "partition_index",
+    "PartitionedCache",
+    "PartitionedLimiter",
+    "PartitionedRegistry",
+]

@@ -1,0 +1,57 @@
+"""The stable client-IP partition hash.
+
+Every partitioned store — and the ingress lane router — must agree on
+which partition owns a client, or a process lane would touch state it
+does not carry.  They all call :func:`partition_index`.
+
+The hash is BLAKE2b over the raw key with an 8-byte digest, reduced
+little-endian.  It is deliberately *not* the 4-byte digest
+``ProxyNetwork.node_index_for`` uses: the two hashes are statistically
+independent, so sharding within a node does not correlate with the
+node assignment itself (a correlated pair would leave some
+``(node, shard)`` lanes structurally empty).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def partition_index(key: str, n_partitions: int) -> int:
+    """Stable partition assignment for a string key.
+
+    Deterministic across processes and Python versions (no
+    ``PYTHONHASHSEED`` dependence), uniform over partitions, and
+    independent of the node-assignment hash.
+    """
+    if n_partitions <= 1:
+        return 0
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % n_partitions
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """A fixed partition count plus the routing it implies."""
+
+    n_partitions: int
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+
+    def index_for(self, key: str) -> int:
+        """Which partition owns ``key``."""
+        return partition_index(key, self.n_partitions)
+
+    def label(self, index: int) -> str:
+        """Zero-padded label for metrics series (``00``, ``01`` ...)."""
+        return f"{index:02d}"
+
+    def group(self, keys):
+        """Partition an iterable of keys into ``n_partitions`` lists."""
+        groups: list[list[str]] = [[] for _ in range(self.n_partitions)]
+        for key in keys:
+            groups[self.index_for(key)].append(key)
+        return groups

@@ -81,6 +81,11 @@ class ReplayConfig:
     executor: str | None = None
     queue_depth: int | None = None
     shed: bool = False
+    #: Lane granularity for the pipelined path: 1 = one lane per node;
+    #: the node's detection shard count = one lane per
+    #: :class:`~repro.proxy.node.NodeShard`, so process lanes scale
+    #: with cores instead of node count.  Results are invariant.
+    lanes_per_node: int = 1
     scorer_model: "AdaBoostModel | None" = None
     batch: "MicroBatchConfig | None" = None
     #: Virtual-time flight-recorder sampling interval (None = off).
@@ -114,6 +119,12 @@ class ReplayConfig:
             )
         if self.shed and self.executor is None:
             raise ValueError("shed requires a pipelined executor")
+        if self.lanes_per_node < 1:
+            raise ValueError("lanes_per_node must be >= 1")
+        if self.lanes_per_node > 1 and self.executor is None:
+            raise ValueError(
+                "lanes_per_node > 1 requires a pipelined executor"
+            )
 
 
 @dataclass
@@ -240,7 +251,7 @@ class TraceReplayEngine:
             [
                 FlightRecorder(
                     cfg.flight_interval, node.metrics,
-                    prepare=node.export_metrics,
+                    snapshot=node.metrics_snapshot,
                 )
                 for node in self._network.nodes
             ]
@@ -345,6 +356,7 @@ class TraceReplayEngine:
             queue_depth=cfg.queue_depth,
             policy=ShedPolicy.SHED if cfg.shed else ShedPolicy.BLOCK,
             housekeeping_interval=cfg.housekeeping_interval,
+            lanes_per_node=cfg.lanes_per_node,
             batch=cfg.batch or MicroBatchConfig(),
             scorer_model=cfg.scorer_model,
             flight_interval=cfg.flight_interval,

@@ -86,6 +86,9 @@ class WorkloadConfig:
     shard_workers: int | None = None
     executor: str = "serial"
     queue_depth: int | None = None
+    #: Pipelined lane granularity: 1 = one lane per node; the detection
+    #: shard count = one lane per :class:`~repro.proxy.node.NodeShard`.
+    lanes_per_node: int = 1
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
@@ -112,6 +115,12 @@ class WorkloadConfig:
         if self.queue_depth is not None and self.queue_depth < 1:
             raise ValueError(
                 "queue_depth must be >= 1 (or None for unbounded)"
+            )
+        if self.lanes_per_node < 1:
+            raise ValueError("lanes_per_node must be >= 1")
+        if self.lanes_per_node > 1 and self.mode != "pipelined":
+            raise ValueError(
+                "lanes_per_node > 1 requires mode='pipelined'"
             )
 
 
@@ -263,20 +272,24 @@ class WorkloadEngine:
 
         cfg = self._config
         captcha_rng = self._rng.split("captcha")
-        workers = [
-            WorkloadLaneWorker(
-                lane,
-                node,
-                budget=cfg.budget,
-                collect_features=cfg.collect_features,
-                housekeeping_interval=cfg.housekeeping_interval,
-                captcha_enabled=cfg.captcha_enabled,
-                captcha_config=cfg.captcha,
-                captcha_rng=captcha_rng,
-                taps=self._network.taps,
-            )
-            for lane, node in enumerate(self._network.nodes)
-        ]
+        workers = []
+        for node in self._network.nodes:
+            # Per-IP captcha splits make outcomes identical whichever
+            # lane state (whole node or single shard) runs the session.
+            for state in node.lane_states(cfg.lanes_per_node):
+                workers.append(
+                    WorkloadLaneWorker(
+                        len(workers),
+                        state,
+                        budget=cfg.budget,
+                        collect_features=cfg.collect_features,
+                        housekeeping_interval=cfg.housekeeping_interval,
+                        captcha_enabled=cfg.captcha_enabled,
+                        captcha_config=cfg.captcha,
+                        captcha_rng=captcha_rng,
+                        taps=self._network.taps,
+                    )
+                )
         pipeline = IngressPipeline(
             self._network,
             workers,
@@ -284,6 +297,7 @@ class WorkloadEngine:
                 executor=cfg.executor,
                 queue_depth=cfg.queue_depth,
                 housekeeping_interval=cfg.housekeeping_interval,
+                lanes_per_node=cfg.lanes_per_node,
             ),
         )
         for index, (agent, start) in enumerate(zip(agents, starts)):

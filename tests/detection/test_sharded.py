@@ -15,7 +15,23 @@ from repro.detection.sharded import (
 from repro.http.headers import Headers
 from repro.http.message import Method, Request, Response
 from repro.http.uri import Url
-from repro.instrument.keys import InstrumentationRegistry
+from repro.instrument.keys import (
+    BeaconKind,
+    InstrumentationRegistry,
+    RegisteredProbe,
+)
+
+
+def _probe(client_ip: str, key: str) -> RegisteredProbe:
+    return RegisteredProbe(
+        kind=BeaconKind.CSS_BEACON,
+        client_ip=client_ip,
+        host="site.test",
+        path=f"/probe-{key}.css",
+        page_path="/page.html",
+        issued_at=0.0,
+        key=key,
+    )
 
 
 def _request(
@@ -66,17 +82,26 @@ def _census(service) -> dict[tuple[str, str, float], int]:
 class TestShardIndex:
     def test_stable_and_in_range(self):
         for n in (1, 2, 3, 8, 64):
-            index = shard_index("1.2.3.4", "UA", n)
+            index = shard_index("1.2.3.4", n)
             assert 0 <= index < n
-            assert index == shard_index("1.2.3.4", "UA", n)
+            assert index == shard_index("1.2.3.4", n)
 
     def test_single_shard_short_circuits(self):
-        assert shard_index("anything", "at all", 1) == 0
+        assert shard_index("anything", 1) == 0
+
+    def test_ip_only_routing_ignores_user_agent(self):
+        # Routing is per client IP so a shard owns every piece of state
+        # (registry / cache / limiter partitions) the IP can touch; the
+        # user agent only distinguishes sessions *within* a shard.
+        sharded = ShardedDetectionService(
+            InstrumentationRegistry(), n_shards=8
+        )
+        assert sharded.shard_index_for(
+            "9.9.9.9", "bot/1.0"
+        ) == sharded.shard_index_for("9.9.9.9", "browser/2.0")
 
     def test_keys_spread_across_shards(self):
-        indices = {
-            shard_index(f"10.0.0.{i}", "UA", 8) for i in range(200)
-        }
+        indices = {shard_index(f"10.0.0.{i}", 8) for i in range(200)}
         assert len(indices) == 8
 
 
@@ -230,8 +255,14 @@ class TestShardService:
         plain = DetectionService(
             registry, idle_timeout=123.0, min_requests=5
         )
+        registry.register(_probe("4.4.4.4", key="k-preserved"))
         resharded = shard_service(plain, 4)
-        assert resharded.registry is registry
+        # The registry is re-partitioned into an IP-routed facade; the
+        # registrations (and their per-IP order) must survive the move.
+        assert [p.key for p in resharded.registry.iter_probes()] == [
+            "k-preserved"
+        ]
+        assert resharded.registry.n_partitions == 4
         assert resharded.n_shards == 4
         assert resharded.tracker.idle_timeout == 123.0
         assert resharded.tracker.min_requests == 5

@@ -160,6 +160,134 @@ class TestExecutorDeterminism:
         ] == [(v.session_id, v.margin) for v in reference.ml_verdicts]
 
 
+class TestLaneGranularity:
+    """Per-shard lanes: lane count is a topology knob, never a
+    behaviour knob.
+
+    With ``lanes_per_node`` equal to the detection shard count, every
+    ``(node, shard)`` pair becomes its own ingress lane carrying only
+    its partition's state.  Results must stay byte-identical to the
+    one-lane-per-node layout across every executor.
+    """
+
+    SHARDS = 4
+
+    @pytest.fixture(scope="class")
+    def reference(self, recorded):
+        return _replay(
+            recorded,
+            shards=self.SHARDS,
+            executor="serial",
+            queue_depth=16,
+            lanes_per_node=1,
+        )
+
+    @staticmethod
+    def _latency_multiset(result):
+        missing = -1
+        return sorted(
+            (
+                missing if l.css_at is None else l.css_at,
+                missing if l.beacon_js_at is None else l.beacon_js_at,
+                missing if l.mouse_at is None else l.mouse_at,
+            )
+            for l in result.latencies
+        )
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("lanes", [1, SHARDS])
+    def test_lane_matrix_matches(
+        self, recorded, reference, executor, lanes
+    ):
+        result = _replay(
+            recorded,
+            shards=self.SHARDS,
+            executor=executor,
+            queue_depth=16,
+            lanes_per_node=lanes,
+        )
+        assert result.summary == reference.summary
+        assert result.kind_census() == reference.kind_census()
+        assert _verdicts(result) == _verdicts(reference)
+        assert result.stats == reference.stats
+        assert result.requests_replayed == reference.requests_replayed
+        assert result.probes_loaded == reference.probes_loaded
+        assert self._latency_multiset(result) == self._latency_multiset(
+            reference
+        )
+
+    def test_deterministic_metrics_invariant_to_lane_count(
+        self, recorded, reference
+    ):
+        # Lane-labeled series (queue waits, admission counters) are
+        # queue-topology-scoped by definition, and sweep bookkeeping
+        # runs on per-lane event clocks — everything else must be
+        # byte-identical between one lane per node and one per shard.
+        sweep_dependent = {
+            "repro_cache_expired_total",
+            "repro_ratelimit_evicted_total",
+        }
+
+        def comparable(snapshot):
+            return {
+                p.key: p
+                for p in snapshot.deterministic().points
+                if "lane" not in dict(p.labels)
+                and p.name not in sweep_dependent
+            }
+
+        result = _replay(
+            recorded,
+            shards=self.SHARDS,
+            executor="process",
+            queue_depth=16,
+            lanes_per_node=self.SHARDS,
+        )
+        assert comparable(result.metrics) == comparable(reference.metrics)
+
+    def test_per_shard_lanes_outnumber_nodes(self):
+        network = ProxyNetwork(
+            origins={},
+            rng=RngStream(0, "replay"),
+            n_nodes=3,
+            instrument_enabled=False,
+        )
+        network.shard_detection(self.SHARDS)
+        config = IngressConfig(
+            executor="serial", lanes_per_node=self.SHARDS
+        )
+        workers = replay_workers(network, config)
+        assert len(workers) == 3 * self.SHARDS > len(network.nodes)
+        pipeline = IngressPipeline(network, workers, config)
+        try:
+            from repro.state.partition import partition_index
+
+            for i in range(64):
+                ip = f"10.1.{i}.7"
+                lane = pipeline.lane_for(ip)
+                assert lane // self.SHARDS == network.node_index_for(ip)
+                assert lane % self.SHARDS == partition_index(
+                    ip, self.SHARDS
+                )
+        finally:
+            pipeline.close()
+
+    def test_lane_count_validation(self, recorded):
+        with pytest.raises(ValueError):
+            ReplayConfig(lanes_per_node=0)
+        with pytest.raises(ValueError):  # needs a pipelined executor
+            ReplayConfig(lanes_per_node=4)
+        # Anything that is not 1 or the shard count cannot be a total
+        # partition of a node's state.
+        with pytest.raises(ValueError, match="lanes_per_node"):
+            _replay(
+                recorded,
+                shards=self.SHARDS,
+                executor="serial",
+                lanes_per_node=3,
+            )
+
+
 class TestMetricsDeterminism:
     """Snapshot byte-identity: the observability acceptance matrix."""
 

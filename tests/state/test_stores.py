@@ -1,0 +1,288 @@
+"""Partitioned store facades: routing, merged accounting, housekeeping
+equivalence and pickle safety.
+
+The eviction-equivalence tests are the regression guard for the PR 2
+unbounded-state fixes: partitioning a store must never change *what*
+housekeeping removes — every entry the unpartitioned sweep would evict
+is evicted exactly once by the per-partition sweeps, and nothing else.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.http.headers import Headers
+from repro.http.message import Method, Request, Response
+from repro.http.uri import Url
+from repro.instrument.keys import (
+    BeaconKind,
+    InstrumentationRegistry,
+    RegisteredProbe,
+)
+from repro.proxy.cache import ProxyCache
+from repro.proxy.ratelimit import RateLimitConfig, TokenBucketLimiter
+from repro.state.stores import (
+    PartitionedCache,
+    PartitionedLimiter,
+    PartitionedRegistry,
+)
+
+N_IPS = 10_000
+
+
+def _ips(n=N_IPS):
+    return [f"10.{i // 65536}.{(i // 256) % 256}.{i % 256}" for i in range(n)]
+
+
+def _probe(client_ip, key, issued_at=0.0):
+    return RegisteredProbe(
+        kind=BeaconKind.CSS_BEACON,
+        client_ip=client_ip,
+        host="site.test",
+        path=f"/probe-{key}.css",
+        page_path="/page.html",
+        issued_at=issued_at,
+        key=key,
+    )
+
+
+def _request(client_ip, path="/a.css", timestamp=0.0):
+    return Request(
+        method=Method.GET,
+        url=Url.parse(f"http://site.test{path}"),
+        client_ip=client_ip,
+        headers=Headers([("User-Agent", "UA")]),
+        timestamp=timestamp,
+    )
+
+
+def _response():
+    return Response(
+        status=200,
+        headers=Headers([("Content-Type", "text/css")]),
+        body=b"body{}",
+    )
+
+
+class TestPartitionedRegistry:
+    def test_routes_and_merges(self):
+        registry = PartitionedRegistry.build(4, ttl=100.0, per_ip_cap=8)
+        for i, ip in enumerate(_ips(64)):
+            registry.register(_probe(ip, f"k{i}"))
+        assert len(registry) == 64
+        assert sum(len(p) for p in registry.partitions) == 64
+        for ip in _ips(64):
+            owner = registry.partition(registry.index_for(ip))
+            assert registry.outstanding(ip) == owner.outstanding(ip)
+        assert registry.ttl == 100.0
+        assert registry.per_ip_cap == 8
+
+    def test_listeners_fire_once_per_registration(self):
+        registry = PartitionedRegistry.build(4)
+        seen = []
+        registry.add_listener(seen.append)
+        assert registry.has_listeners
+        for i, ip in enumerate(_ips(32)):
+            registry.register(_probe(ip, f"k{i}"))
+        assert len(seen) == 32
+        registry.remove_listener(seen.append)
+        assert not registry.has_listeners
+
+    def test_migrate_preserves_probes_without_refiring(self):
+        source = InstrumentationRegistry(ttl=50.0, per_ip_cap=8)
+        journal = []
+        source.add_listener(journal.append)
+        for i in range(6):  # same IP: exercises per-IP FIFO order
+            source.register(_probe("198.51.100.7", f"k{i}", issued_at=i))
+        fired_before = len(journal)
+        rebuilt = PartitionedRegistry.migrate(source, 8)
+        assert len(journal) == fired_before  # load() never re-fires
+        assert rebuilt.ttl == 50.0
+        assert rebuilt.per_ip_cap == 8
+        # FIFO order per IP survives the move (eviction order depends
+        # on it).
+        assert [p.key for p in rebuilt.outstanding("198.51.100.7")] == [
+            p.key for p in source.outstanding("198.51.100.7")
+        ]
+        # The journal listener rides along into every partition.
+        rebuilt.register(_probe("203.0.113.1", "fresh"))
+        assert len(journal) == fired_before + 1
+
+    def test_expiry_equivalent_to_unpartitioned(self):
+        """Million-IP-style slice: partition-wise sweeps remove exactly
+        the entries one big sweep would — none skipped, none double."""
+        flat = InstrumentationRegistry(ttl=100.0)
+        for i, ip in enumerate(_ips()):
+            flat.register(_probe(ip, f"k{i}", issued_at=float(i % 500)))
+        partitioned = PartitionedRegistry.migrate(flat, 16)
+        assert len(partitioned) == len(flat)
+
+        expected = flat.expire_before(now=350.0)
+        removed = partitioned.expire_before(now=350.0)
+        assert removed == expected
+        assert len(partitioned) == len(flat)
+        survivors = sorted(p.key for p in partitioned.iter_probes())
+        assert survivors == sorted(p.key for p in flat.iter_probes())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedRegistry([])
+
+
+class TestPartitionedLimiter:
+    CONFIG = RateLimitConfig(requests_per_second=1, burst=2)
+
+    def test_partition_local_decisions(self):
+        limiter = PartitionedLimiter(self.CONFIG, 4)
+        ip = "192.0.2.50"
+        assert limiter.allow(ip, 0.0)
+        assert limiter.allow(ip, 0.0)
+        assert not limiter.allow(ip, 0.0)  # burst exhausted
+        owner = limiter.partition(limiter.index_for(ip))
+        assert len(owner) == 1
+        assert len(limiter) == 1
+        assert limiter.allowed == 2
+        assert limiter.denied == 1
+        assert limiter.config is self.CONFIG
+
+    def test_decisions_match_unpartitioned(self):
+        flat = TokenBucketLimiter(self.CONFIG)
+        partitioned = PartitionedLimiter(self.CONFIG, 8)
+        for step in range(3):
+            for ip in _ips(300):
+                now = float(step)
+                assert flat.allow(ip, now) == partitioned.allow(ip, now)
+        assert flat.allowed == partitioned.allowed
+        assert flat.denied == partitioned.denied
+
+    def test_eviction_equivalent_to_unpartitioned(self):
+        flat = TokenBucketLimiter(self.CONFIG)
+        partitioned = PartitionedLimiter(self.CONFIG, 16)
+        for i, ip in enumerate(_ips()):
+            now = float(i % 700)
+            flat.allow(ip, now)
+            partitioned.allow(ip, now)
+        assert len(partitioned) == len(flat)
+        expected = flat.evict_replenished(now=900.0)
+        removed = partitioned.evict_replenished(now=900.0)
+        assert removed == expected
+        assert len(partitioned) == len(flat)
+        assert partitioned.evicted == flat.evicted
+
+
+class TestPartitionedCache:
+    def test_routes_by_client_ip(self):
+        cache = PartitionedCache(4, capacity=64, ttl=100.0)
+        request = _request("192.0.2.9")
+        assert cache.lookup(request, now=0.0) is None
+        assert cache.store(request, _response(), now=0.0)
+        hit = cache.lookup(request, now=1.0)
+        assert hit is not None and hit.served_from_cache
+        owner = cache.partition(cache.index_for("192.0.2.9"))
+        assert len(owner) == 1
+        assert len(cache) == 1
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.insertions == 1
+
+    def test_capacity_divides_across_partitions(self):
+        cache = PartitionedCache(4, capacity=10)
+        # Ceiling division, never below one entry per partition.
+        assert all(p._capacity == 3 for p in cache.partitions)
+        tiny = PartitionedCache(8, capacity=2)
+        assert all(p._capacity == 1 for p in tiny.partitions)
+        with pytest.raises(ValueError):
+            PartitionedCache(4, capacity=0)
+
+    def test_sweep_equivalent_to_unpartitioned(self):
+        flat = ProxyCache(capacity=N_IPS, ttl=100.0)
+        partitioned = PartitionedCache(16, capacity=N_IPS, ttl=100.0)
+        for i, ip in enumerate(_ips(2000)):
+            request = _request(ip, path=f"/obj{i}.css", timestamp=i % 300)
+            flat.store(request, _response(), now=float(i % 300))
+            partitioned.store(request, _response(), now=float(i % 300))
+        assert len(partitioned) == len(flat)
+        expected = flat.sweep(now=250.0)
+        removed = partitioned.sweep(now=250.0)
+        assert removed == expected
+        assert len(partitioned) == len(flat)
+
+
+class TestPickleSafety:
+    """Everything that rides a LaneResult or ships to a process lane
+    must round-trip through pickle with its state intact."""
+
+    def test_partitioned_stores_round_trip(self):
+        registry = PartitionedRegistry.build(4)
+        for i, ip in enumerate(_ips(32)):
+            registry.register(_probe(ip, f"k{i}"))
+        limiter = PartitionedLimiter(RateLimitConfig(), 4)
+        limiter.allow("192.0.2.1", 0.0)
+        cache = PartitionedCache(4, capacity=16)
+        cache.store(_request("192.0.2.1"), _response(), now=0.0)
+
+        registry2 = pickle.loads(pickle.dumps(registry))
+        assert len(registry2) == 32
+        assert registry2.index_for("192.0.2.1") == registry.index_for(
+            "192.0.2.1"
+        )
+        limiter2 = pickle.loads(pickle.dumps(limiter))
+        assert limiter2.allowed == 1
+        cache2 = pickle.loads(pickle.dumps(cache))
+        assert len(cache2) == 1
+        hit = cache2.lookup(_request("192.0.2.1"), now=1.0)
+        assert hit is not None
+
+    def test_node_and_shards_round_trip(self):
+        from repro.proxy.node import ProxyNode
+        from repro.util.rng import RngStream
+
+        node = ProxyNode(
+            node_id="n0",
+            origins={},
+            rng=RngStream(1, "pickle-test"),
+            rate_limit=RateLimitConfig(),
+            detection_shards=4,
+        )
+        node.handle(_request("192.0.2.77", path="/x.html"))
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone.stats.requests == 1
+        assert clone.n_state_shards == 4
+        for shard in node.state_shards:
+            revived = pickle.loads(pickle.dumps(shard))
+            assert revived.shard_id == shard.shard_id
+            assert revived.stats.requests == shard.stats.requests
+
+    def test_lane_workers_round_trip(self):
+        from repro.agents.base import SessionBudget
+        from repro.captcha.service import CaptchaConfig
+        from repro.ingress.workers import (
+            ReplayLaneWorker,
+            WorkloadLaneWorker,
+        )
+        from repro.proxy.node import ProxyNode
+        from repro.util.rng import RngStream
+
+        node = ProxyNode(
+            node_id="n0",
+            origins={},
+            rng=RngStream(2, "pickle-test"),
+            detection_shards=2,
+        )
+        for lane, state in enumerate(node.lane_states(2)):
+            replay = ReplayLaneWorker(lane, state)
+            assert pickle.loads(pickle.dumps(replay)).lane == lane
+            workload = WorkloadLaneWorker(
+                lane,
+                state,
+                budget=SessionBudget(),
+                collect_features=False,
+                housekeeping_interval=600.0,
+                captcha_enabled=False,
+                captcha_config=CaptchaConfig(),
+                captcha_rng=RngStream(3, "captcha"),
+            )
+            assert pickle.loads(pickle.dumps(workload)).lane == lane
