@@ -12,7 +12,13 @@ Demonstrates the ingress subsystem end to end:
    executor, at every queue depth, and to the synchronous loop;
 3. replay once more with a tiny queue and the load-shedding policy to
    show overload handling: shed requests are *counted* in the network
-   stats, never silently dropped.
+   stats, never silently dropped;
+4. replay with **span tracing** on: every admitted event carries a trace
+   context through admission -> queue wait -> handle -> detection ->
+   batch flush, a tail sampler keeps exemplar traces under a bounded
+   budget, and the export is Chrome trace-event JSON you can drop into
+   https://ui.perfetto.dev — plus the same per-stage critical-path
+   table ``repro profile`` prints.
 
 Run:  python examples/pipelined_replay.py
 """
@@ -22,6 +28,12 @@ from __future__ import annotations
 import os
 import tempfile
 
+from repro.obs.spans import (
+    SpanConfig,
+    profile_stages,
+    to_trace_events,
+    trace_trees_from_json,
+)
 from repro.proxy.network import ProxyNetwork
 from repro.site.generator import SiteConfig, SiteGenerator
 from repro.site.origin import OriginServer
@@ -125,6 +137,54 @@ def main() -> None:
             f"\nhuman bounds from the pipelined replay: "
             f"{baseline.summary.lower_bound:.1%} .. "
             f"{baseline.summary.upper_bound:.1%}"
+        )
+
+        # Span tracing: the same replay with causal traces attached.
+        # ``SpanConfig.uniform(8)`` keeps at most 8 exemplar traces per
+        # category per lane (16 for robot verdicts) — budget-bounded no
+        # matter how long the trace is.
+        traced = replay(
+            trace,
+            probes,
+            executor="thread",
+            queue_depth=256,
+            spans=SpanConfig.uniform(8),
+        )
+        span_path = os.path.join(tmp, "spans.json")
+        with open(span_path, "w", encoding="utf-8") as handle:
+            handle.write(to_trace_events(traced.spans, clock="wall"))
+        print(
+            f"\nspan tracing: kept {len(traced.spans)} exemplar traces "
+            f"-> {span_path} (open in https://ui.perfetto.dev)"
+        )
+
+        # ... and the ``repro profile`` view of the same file: per-stage
+        # totals, self time, p50/p95/p99 and the share of end-to-end
+        # handle time each named stage accounts for.
+        with open(span_path, encoding="utf-8") as handle:
+            trees, clock = trace_trees_from_json(handle.read())
+        print()
+        print(profile_stages(trees, clock=clock).render(limit=6))
+
+        # The virtual-domain export is part of the determinism contract:
+        # byte-identical across executors, like the census above.
+        virtual = {
+            executor: to_trace_events(
+                replay(
+                    trace,
+                    probes,
+                    executor=executor,
+                    queue_depth=256,
+                    spans=SpanConfig.uniform(8),
+                ).spans,
+                clock="virtual",
+            )
+            for executor in ("serial", "thread", "process")
+        }
+        assert len(set(virtual.values())) == 1
+        print(
+            "\nvirtual-clock span trees byte-identical across "
+            "serial/thread/process executors: True"
         )
 
 

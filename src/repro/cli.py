@@ -7,25 +7,30 @@ Two command families share the entry point:
 * trace commands move workloads in and out of access logs:
   ``record`` exports a synthetic workload as a Combined Log Format
   trace (plus probe journal), ``replay`` streams a trace — recorded or
-  real — through the detection pipeline, and ``stats`` renders a
-  metrics snapshot (``--metrics-out``) as a table, Prometheus text,
-  or canonical JSON.
+  real — through the detection pipeline, ``stats`` renders a metrics
+  snapshot (``--metrics-out``) as a table, Prometheus text, or
+  canonical JSON, and ``profile`` prints per-stage critical-path
+  attribution from a span trace (``--trace-out``).
 
 Examples::
 
     python -m repro list
-    python -m repro table1 --sessions 2000 --seed 7
+    python -m repro table1 --sessions 2000 --seed 7 \
+        --metrics-out metrics.json --flight-interval 3600
     python -m repro all --sessions 1000 --ml-sessions 800
     python -m repro record --out week.log.gz --probes week.keys.gz \
         --sessions 500 --mode interleaved --arrival diurnal
     python -m repro replay --trace week.log.gz --probes week.keys.gz \
-        --metrics-out metrics.json --flight-interval 3600
+        --metrics-out metrics.json --flight-interval 3600 \
+        --trace-out spans.json
     python -m repro stats metrics.json --format prometheus
+    python -m repro profile spans.json --limit 10
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.analysis.report import generate_report
@@ -34,7 +39,7 @@ from repro.experiments.registry import EXPERIMENTS
 _WORKLOAD_EXPERIMENTS = ("table1", "figure2", "figure3", "overhead")
 _ML_EXPERIMENTS = ("table2", "figure4")
 
-_TRACE_COMMANDS = ("record", "replay", "stats")
+_TRACE_COMMANDS = ("record", "replay", "stats", "profile")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--ml-seed", type=int, default=4242, help="ML-study seed"
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the experiment workload's metrics snapshot (and any "
+             "flight frames) as repro.obs JSON (workload experiments)",
+    )
+    parser.add_argument(
+        "--flight-interval", type=float, default=0,
+        help="flight recorder: sample a metrics frame every N virtual "
+             "seconds of workload time (0 disables; workload "
+             "experiments that expose it)",
     )
     return parser
 
@@ -134,9 +150,40 @@ def build_record_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--metrics-out", default=None,
-        help="write the run's metrics snapshot as repro.obs JSON",
+        help="write the run's metrics snapshot (and any flight-recorder "
+             "frames) as repro.obs JSON",
     )
+    parser.add_argument(
+        "--flight-interval", type=float, default=0,
+        help="flight recorder: sample a metrics frame every N virtual "
+             "seconds of workload time (0 disables)",
+    )
+    _add_trace_out_options(parser, needs="--mode pipelined")
     return parser
+
+
+def _add_trace_out_options(
+    parser: argparse.ArgumentParser, needs: str | None = None
+) -> None:
+    """The shared ``--trace-out`` / ``--trace-sample`` / ``--trace-clock``."""
+    suffix = f" (needs {needs})" if needs else ""
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="tail-sample span traces and write them as Chrome "
+             f"trace-event JSON for Perfetto / 'repro profile'{suffix}",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=None, metavar="N",
+        help="per-category trace budget for --trace-out: keep N "
+             "exemplar traces each for head/slow/error/shed and 2N for "
+             "robot verdicts (default 16)",
+    )
+    parser.add_argument(
+        "--trace-clock", choices=("wall", "virtual"), default="wall",
+        help="clock domain for --trace-out: 'wall' for profiling, "
+             "'virtual' for byte-identical deterministic traces "
+             "(default wall)",
+    )
 
 
 def build_replay_parser() -> argparse.ArgumentParser:
@@ -219,6 +266,7 @@ def build_replay_parser() -> argparse.ArgumentParser:
         help="flight recorder: sample a metrics frame every N virtual "
              "seconds of trace time (0 disables)",
     )
+    _add_trace_out_options(parser)
     return parser
 
 
@@ -254,6 +302,61 @@ def build_stats_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro profile``."""
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Read a span trace (written by 'repro record/replay "
+            "--trace-out') and print per-stage critical-path "
+            "attribution: count, total and self time plus p50/p95/p99 "
+            "per named stage, in the clock domain the file was "
+            "exported with."
+        ),
+    )
+    parser.add_argument(
+        "trace",
+        help="Chrome trace-event JSON file (schema repro.spans/v1)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show only the top N stages by self time",
+    )
+    return parser
+
+
+def _span_config(args):
+    """Build the tail-sampling config the ``--trace-*`` flags describe.
+
+    Returns ``None`` when tracing is off; raises ``ValueError`` on
+    inconsistent flags so each command prints its own prefix.
+    """
+    from repro.obs.spans import SpanConfig
+
+    if args.trace_out is None:
+        if args.trace_sample is not None:
+            raise ValueError("--trace-sample needs --trace-out")
+        return None
+    if args.trace_sample is not None:
+        if args.trace_sample < 1:
+            raise ValueError("--trace-sample must be >= 1")
+        return SpanConfig.uniform(args.trace_sample)
+    return SpanConfig()
+
+
+def _write_trace(path: str, traces, clock: str) -> None:
+    """Write retained span trees as canonical Chrome trace-event JSON."""
+    from repro.obs.spans import to_trace_events
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_trace_events(traces, clock=clock))
+        handle.write("\n")
+    print(
+        f"wrote {len(traces)} sampled span trace(s), {clock} clock "
+        f"-> {path}"
+    )
+
+
 def run_record(argv: list[str]) -> int:
     """Execute ``repro record``."""
     from repro.trace.arrival import profile_by_name
@@ -268,6 +371,7 @@ def run_record(argv: list[str]) -> int:
     try:
         mix = mix_by_name(args.mix)
         duration = parse_duration(args.duration)
+        spans = _span_config(args)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"repro record: {message}", file=sys.stderr)
@@ -281,12 +385,8 @@ def run_record(argv: list[str]) -> int:
     )
     rng = RngStream(args.seed, "record")
     network, entry_url = experiment.build_network(rng)
-    engine = WorkloadEngine(
-        network,
-        mix,
-        entry_url,
-        rng.split("workload"),
-        WorkloadConfig(
+    try:
+        workload_config = WorkloadConfig(
             n_sessions=args.sessions,
             duration=duration,
             captcha_enabled=False,
@@ -296,7 +396,16 @@ def run_record(argv: list[str]) -> int:
             executor=args.executor,
             queue_depth=args.queue_depth or None,
             lanes_per_node=args.lanes_per_node,
-        ),
+            flight_interval=args.flight_interval or None,
+            spans=spans,
+        )
+    except ValueError as exc:
+        # e.g. --trace-out without --mode pipelined: span tracing rides
+        # the ingress lanes.
+        print(f"repro record: {exc}", file=sys.stderr)
+        return 2
+    engine = WorkloadEngine(
+        network, mix, entry_url, rng.split("workload"), workload_config
     )
     try:
         result, recorder = record_workload(engine, args.out, args.probes)
@@ -314,7 +423,9 @@ def run_record(argv: list[str]) -> int:
     for kind, count in sorted(result.kind_census().items()):
         print(f"  {kind:20s} {count}")
     if args.metrics_out:
-        _write_metrics(args.metrics_out, result.metrics)
+        _write_metrics(args.metrics_out, result.metrics, result.flight)
+    if args.trace_out:
+        _write_trace(args.trace_out, result.spans, args.trace_clock)
     return 0
 
 
@@ -385,6 +496,7 @@ def run_replay(argv: list[str]) -> int:
         instrument_enabled=False,
     )
     try:
+        spans = _span_config(args)
         config = ReplayConfig(
             housekeeping_interval=args.housekeeping,
             assume_sorted=args.assume_sorted,
@@ -400,6 +512,7 @@ def run_replay(argv: list[str]) -> int:
                 else None
             ),
             flight_interval=args.flight_interval or None,
+            spans=spans,
         )
     except ValueError as exc:
         print(f"repro replay: {exc}", file=sys.stderr)
@@ -456,6 +569,8 @@ def run_replay(argv: list[str]) -> int:
     _print_ingress_summary(result.metrics)
     if args.metrics_out:
         _write_metrics(args.metrics_out, result.metrics, result.flight)
+    if args.trace_out:
+        _write_trace(args.trace_out, result.spans, args.trace_clock)
     return 0
 
 
@@ -503,6 +618,36 @@ def run_stats(argv: list[str]) -> int:
     return 0
 
 
+def run_profile(argv: list[str]) -> int:
+    """Execute ``repro profile``."""
+    from repro.obs.spans import profile_stages, trace_trees_from_json
+
+    args = build_profile_parser().parse_args(argv)
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trees, clock = trace_trees_from_json(handle.read())
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    if not trees:
+        print(
+            "repro profile: no span traces in file (record/replay with "
+            "--trace-out)",
+            file=sys.stderr,
+        )
+        return 2
+    print(profile_stages(trees, clock=clock).render(limit=args.limit))
+    return 0
+
+
+def _experiment_workload(result):
+    """The WorkloadResult an experiment result wraps, if it keeps one."""
+    workload = getattr(result, "workload", None)
+    if workload is None:
+        workload = getattr(getattr(result, "result", None), "workload", None)
+    return workload
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -511,6 +656,7 @@ def main(argv: list[str] | None = None) -> int:
             "record": run_record,
             "replay": run_replay,
             "stats": run_stats,
+            "profile": run_profile,
         }[argv[0]]
         return runner(argv[1:])
 
@@ -522,6 +668,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.experiment == "all":
+        if args.metrics_out or args.flight_interval:
+            print(
+                "repro: --metrics-out/--flight-interval need a single "
+                "workload experiment (e.g. table1), not 'all'",
+                file=sys.stderr,
+            )
+            return 2
         report = generate_report(
             n_sessions=args.sessions,
             ml_sessions=args.ml_sessions,
@@ -533,11 +686,33 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     runner = EXPERIMENTS[args.experiment]
+    if args.flight_interval and (
+        "flight_interval" not in inspect.signature(runner).parameters
+    ):
+        print(
+            f"repro: {args.experiment} does not take --flight-interval "
+            "(its runner drives no instrumented workload)",
+            file=sys.stderr,
+        )
+        return 2
     if args.experiment in _ML_EXPERIMENTS:
         result = runner(n_sessions=args.ml_sessions, seed=args.ml_seed)
     else:
-        result = runner(n_sessions=args.sessions, seed=args.seed)
+        kwargs = {"n_sessions": args.sessions, "seed": args.seed}
+        if args.flight_interval:
+            kwargs["flight_interval"] = args.flight_interval
+        result = runner(**kwargs)
     print(result.render())
+    if args.metrics_out:
+        workload = _experiment_workload(result)
+        if workload is None:
+            print(
+                f"repro: {args.experiment} keeps no workload result; "
+                "--metrics-out has nothing to write",
+                file=sys.stderr,
+            )
+            return 2
+        _write_metrics(args.metrics_out, workload.metrics, workload.flight)
     return 0
 
 

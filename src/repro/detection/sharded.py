@@ -43,6 +43,7 @@ from repro.detection.session import SessionState
 from repro.detection.set_algebra import SessionSets
 from repro.http.message import Request, Response
 from repro.instrument.keys import InstrumentationRegistry
+from repro.obs.spans import NULL_SPAN
 from repro.state.partition import partition_index
 from repro.state.stores import PartitionedRegistry
 from repro.util.timeutil import HOUR
@@ -206,6 +207,7 @@ class ShardedDetectionService:
         self._executor: Executor | None = None
         self._metric_seconds: list | None = None
         self._metric_requests: list | None = None
+        self._tracer = None
 
     # -- topology -----------------------------------------------------------
 
@@ -275,15 +277,34 @@ class ShardedDetectionService:
             for index in range(self.n_shards)
         ]
 
+    def attach_tracer(self, tracer) -> None:
+        """Emit a ``detection`` span per handled request into ``tracer``.
+
+        For direct drivers of the sharded service (tests, benchmarks,
+        batched ingestion).  A :class:`~repro.proxy.node.NodeShard`
+        hosting per-shard plain services wraps detection itself, so the
+        two never double-report.  Unsafe with a shard-parallel executor
+        — tracers are single-lane; ``attach_metrics`` stays the
+        concurrent-path instrument.
+        """
+        self._tracer = tracer
+
     def _handle_on_shard(self, index: int, request: Request) -> RequestOutcome:
-        if self._metric_seconds is None:
-            return self.shards[index].handle_request(request)
-        started = time.perf_counter()
-        outcome = self.shards[index].handle_request(request)
-        self._metric_seconds[index].observe(time.perf_counter() - started)
-        assert self._metric_requests is not None
-        self._metric_requests[index].inc()
-        return outcome
+        if self._tracer is not None:
+            span = self._tracer.span("detection", request.timestamp)
+        else:
+            span = NULL_SPAN
+        with span:
+            if self._metric_seconds is None:
+                return self.shards[index].handle_request(request)
+            started = time.perf_counter()
+            outcome = self.shards[index].handle_request(request)
+            self._metric_seconds[index].observe(
+                time.perf_counter() - started
+            )
+            assert self._metric_requests is not None
+            self._metric_requests[index].inc()
+            return outcome
 
     # -- event log ----------------------------------------------------------
 

@@ -83,7 +83,11 @@ class Figure2Result:
         return "\n".join(lines)
 
 
-def run(n_sessions: int = 3000, seed: int = 2006) -> Figure2Result:
+def run(
+    n_sessions: int = 3000,
+    seed: int = 2006,
+    flight_interval: float | None = None,
+) -> Figure2Result:
     """Run the Figure 2 experiment (shares the Table 1 workload)."""
-    result = run_codeen_week_cached(n_sessions, seed)
+    result = run_codeen_week_cached(n_sessions, seed, flight_interval)
     return Figure2Result(result=result, cdfs=detection_cdfs(result.latencies))

@@ -35,21 +35,28 @@ PAPER_TABLE1 = {
     "max_false_positive_rate": 2.4,
 }
 
-_CACHE: dict[tuple[int, int], CodeenWeekResult] = {}
+_CACHE: dict[tuple[int, int, float | None], CodeenWeekResult] = {}
 
 
 def run_codeen_week_cached(
-    n_sessions: int = 3000, seed: int = 2006
+    n_sessions: int = 3000,
+    seed: int = 2006,
+    flight_interval: float | None = None,
 ) -> CodeenWeekResult:
     """Run (or reuse) the CoDeeN-week workload.
 
     Table 1, Figure 2 and the overhead study all reduce the same
-    deployment run, so it is executed once per (size, seed).
+    deployment run, so it is executed once per (size, seed,
+    flight-recorder interval).
     """
-    key = (n_sessions, seed)
+    key = (n_sessions, seed, flight_interval)
     if key not in _CACHE:
         experiment = CodeenWeekExperiment(
-            CodeenWeekConfig(n_sessions=n_sessions, seed=seed)
+            CodeenWeekConfig(
+                n_sessions=n_sessions,
+                seed=seed,
+                flight_interval=flight_interval,
+            )
         )
         _CACHE[key] = experiment.run()
     return _CACHE[key]
@@ -109,6 +116,12 @@ class Table1Result:
         return "\n".join(lines)
 
 
-def run(n_sessions: int = 3000, seed: int = 2006) -> Table1Result:
+def run(
+    n_sessions: int = 3000,
+    seed: int = 2006,
+    flight_interval: float | None = None,
+) -> Table1Result:
     """Run the Table 1 experiment."""
-    return Table1Result(result=run_codeen_week_cached(n_sessions, seed))
+    return Table1Result(
+        result=run_codeen_week_cached(n_sessions, seed, flight_interval)
+    )

@@ -94,6 +94,17 @@ class MicroBatcher:
         self._flush_delay = None
         self._pending_gauge = None
         self._evicted_total = None
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit flush/score spans into ``tracer`` (``None`` detaches).
+
+        Spans nest under whatever trace the lane currently has open —
+        the triggering request's, or the finish trace on close — and
+        are silently dropped when none is (``SpanTracer.span`` is a
+        no-op while idle).
+        """
+        self._tracer = tracer
 
     def attach_metrics(self, registry, labels=None) -> None:
         """Wire flush-size/latency distributions into a registry.
@@ -170,6 +181,13 @@ class MicroBatcher:
         """Score every dirty session as one matrix; returns the batch."""
         if self._scorer is None or not self._dirty:
             return []
+        if self._tracer is None:
+            return self._flush_inner()
+        with self._tracer.span("batch_flush", self._clock):
+            return self._flush_inner()
+
+    def _flush_inner(self) -> list[BatchVerdict]:
+        assert self._scorer is not None
         if self._flush_total is not None:
             self._flush_total.inc()
             self._flush_sessions.observe(len(self._dirty))
@@ -181,7 +199,11 @@ class MicroBatcher:
             self._scorer.add(
                 session_id, self._accumulators[session_id].vector()
             )
-        batch = self._scorer.flush()
+        if self._tracer is None:
+            batch = self._scorer.flush()
+        else:
+            with self._tracer.span("batch_score", self._clock):
+                batch = self._scorer.flush()
         for session_id in self._dirty:
             if session_id in self._retired:
                 self._retired.discard(session_id)

@@ -24,6 +24,7 @@ nodes), so even list layouts match the one-thread path.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.ingress.batcher import MicroBatchConfig
@@ -42,6 +43,7 @@ from repro.obs.registry import (
     MetricsSnapshot,
     merge_snapshots,
 )
+from repro.obs.spans import SpanConfig, SpanTree, merge_traces
 from repro.proxy.network import NetworkStats, ProxyNetwork
 from repro.state.partition import partition_index
 
@@ -77,6 +79,11 @@ class IngressConfig:
     #: :meth:`IngressPipeline.tick` — snapshots its metrics registry on
     #: this shared event-time grid.
     flight_interval: float | None = None
+    #: Tail-sampling budgets for causal span tracing (None = tracing
+    #: off, the zero-cost default).  Each lane worker owns a
+    #: :class:`~repro.obs.spans.SpanTracer` and its retained trees ride
+    #: the lane result back, merged in lane order.
+    spans: SpanConfig | None = None
 
     def __post_init__(self) -> None:
         if self.flight_interval is not None and self.flight_interval <= 0:
@@ -120,6 +127,9 @@ class IngressResult:
     #: ``flight_interval`` was set).
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     flight: list[FlightFrame] = field(default_factory=list)
+    #: Tail-sampled span trees from every lane, merged in (lane, seq)
+    #: order (empty unless ``spans`` was configured).
+    spans: list[SpanTree] = field(default_factory=list)
 
     def session_sets(self) -> SessionSets:
         """Set-algebra census over the merged analyzable sessions."""
@@ -177,6 +187,12 @@ class IngressPipeline:
         #: Admission-side registry: queue/shed accounting the lanes
         #: cannot see (they live behind the queues being measured).
         self.metrics = MetricsRegistry()
+        # Live queue-delay prediction state: per-lane drain-rate EWMAs
+        # fed from (enqueued - depth) deltas on the wall clock.
+        self._delay_updated: float | None = None
+        self._delay_delivered: dict[int, int] = {}
+        self._drain_rates: dict[int, float] = {}
+        self._predicted_delays: dict[int, float] = {}
         self._flight = (
             FlightRecorder(
                 config.flight_interval,
@@ -223,16 +239,78 @@ class IngressPipeline:
             self.lane_for(client_ip), event, force=force
         )
 
-    def tick(self, timestamp: float) -> None:
-        """Advance the admission-side flight recorder to an event time.
+    #: Wall seconds between live queue-delay re-estimates (tick() is
+    #: per-arrival; sampling queue depths that often would be noise).
+    _DELAY_INTERVAL = 0.05
+    #: Predicted delays are capped: a stalled lane reports this, never
+    #: infinity (the canonical JSON exporters reject non-finite floats).
+    _DELAY_CAP = 3600.0
+    _DELAY_ALPHA = 0.2
 
-        Drivers call this once per arrival (before submitting it) so
-        queue-depth and shed trajectories land on the same virtual-time
-        grid the lanes sample on.  No-op unless ``flight_interval`` is
-        configured.
+    def tick(self, timestamp: float) -> None:
+        """Advance admission-side observability to an event time.
+
+        Drivers call this once per arrival (before submitting it): the
+        flight recorder lands queue-depth and shed trajectories on the
+        same virtual-time grid the lanes sample on, and the live
+        queue-delay estimate (:meth:`queue_delays`) refreshes on a
+        wall-clock rate limit.
         """
         if self._flight is not None:
             self._flight.tick(timestamp)
+        now = time.monotonic()
+        if (
+            self._delay_updated is None
+            or now - self._delay_updated >= self._DELAY_INTERVAL
+        ):
+            self._update_queue_delays(now)
+
+    def queue_delays(self) -> dict[int, float]:
+        """Predicted per-lane queueing delay in wall seconds, by lane.
+
+        ``depth / drain-rate-EWMA`` per lane — the admission-side
+        latency signal queue-delay-aware shedding (the ROADMAP's
+        graduated-response ladder) reads.  Empty until the first
+        :meth:`tick`; a backlogged lane whose drain rate has collapsed
+        reports the cap, never infinity.
+        """
+        return dict(self._predicted_delays)
+
+    def _update_queue_delays(self, now: float) -> None:
+        depths = self._executor.lane_depths()
+        elapsed = (
+            None
+            if self._delay_updated is None
+            else now - self._delay_updated
+        )
+        self._delay_updated = now
+        for counters in self._executor.telemetry_now():
+            lane = counters.lane
+            depth = depths[lane]
+            delivered = max(0, counters.enqueued - depth)
+            previous = self._delay_delivered.get(lane)
+            self._delay_delivered[lane] = delivered
+            if elapsed is not None and elapsed > 0 and previous is not None:
+                rate = (delivered - previous) / elapsed
+                ewma = self._drain_rates.get(lane)
+                self._drain_rates[lane] = (
+                    rate
+                    if ewma is None
+                    else ewma + self._DELAY_ALPHA * (rate - ewma)
+                )
+            rate = self._drain_rates.get(lane, 0.0)
+            if depth == 0:
+                predicted = 0.0
+            elif rate <= 0.0:
+                predicted = self._DELAY_CAP
+            else:
+                predicted = min(self._DELAY_CAP, depth / rate)
+            self._predicted_delays[lane] = predicted
+            self.metrics.gauge(
+                "repro_ingress_queue_delay_predicted_seconds",
+                {"lane": str(lane)},
+                wall=True,
+            ).set(predicted)
 
     def _collect_admission(self) -> None:
         # Transport chunking must not show up in frames: flushed, the
@@ -337,6 +415,9 @@ class IngressPipeline:
         result.metrics = merge_snapshots(
             [self.metrics.snapshot(), *lane_snapshots]
         )
+        result.spans = merge_traces(
+            lane.spans for lane in lane_results
+        )
         if self._flight is not None or any(
             lane.flight for lane in lane_results
         ):
@@ -374,6 +455,7 @@ def replay_workers(
                     batch=config.batch,
                     taps=network.taps,
                     flight_interval=config.flight_interval,
+                    spans=config.spans,
                 )
             )
     return workers

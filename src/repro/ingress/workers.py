@@ -31,12 +31,14 @@ runs inline, on a thread, or inside a process-pool child.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.captcha.challenge import CaptchaOutcome
 from repro.captcha.service import CaptchaConfig, CaptchaService, CaptchaStats
 from repro.detection.online import DetectionLatency
 from repro.detection.session import SessionState
+from repro.detection.verdict import Label
 from repro.ingress.batcher import MicroBatchConfig, MicroBatcher
 from repro.ml.adaboost import AdaBoostModel
 from repro.ml.batch import BatchVerdict
@@ -46,6 +48,13 @@ from repro.obs.registry import (
     EVENT_SECONDS_BUCKETS,
     WALL_SECONDS_BUCKETS,
     MetricsSnapshot,
+)
+from repro.obs.spans import (
+    QueueDelayEstimator,
+    SpanConfig,
+    SpanTracer,
+    SpanTree,
+    TailSampler,
 )
 from repro.proxy.node import NodeShard, NodeStats, ProxyNode
 from repro.util.rng import RngStream
@@ -79,6 +88,25 @@ class LaneResult:
     #: (both picklable, so they ship back from process-executor lanes).
     metrics: MetricsSnapshot | None = None
     flight: list[FlightFrame] = field(default_factory=list)
+    #: Tail-sampled span trees this lane retained (picklable; merged in
+    #: lane order like metrics).
+    spans: list[SpanTree] = field(default_factory=list)
+
+
+def _request_flags(response, outcome) -> tuple[str, ...]:
+    """Retention flags for one handled exchange's trace."""
+    flags: list[str] = []
+    if outcome is not None and (
+        outcome.blocked
+        or (
+            outcome.verdict is not None
+            and outcome.verdict.label is Label.ROBOT
+        )
+    ):
+        flags.append("robot")
+    if response.status >= 500:
+        flags.append("error")
+    return tuple(flags)
 
 
 def export_captcha_stats(metrics, stats: CaptchaStats) -> None:
@@ -101,6 +129,7 @@ class ReplayLaneWorker:
         batch: MicroBatchConfig | None = None,
         taps=(),
         flight_interval: float | None = None,
+        spans: SpanConfig | None = None,
     ) -> None:
         self.lane = lane
         self.node = node
@@ -134,7 +163,29 @@ class ReplayLaneWorker:
             EVENT_SECONDS_BUCKETS,
             lane_labels,
         )
+        #: Live EWMA of this lane's queue delay in both clock domains,
+        #: mirrored onto gauges so snapshots / flight frames carry it.
+        self.delay_estimator = QueueDelayEstimator()
+        self._delay_wall_gauge = node.metrics.gauge(
+            "repro_ingress_queue_delay_ewma_seconds",
+            lane_labels,
+            wall=True,
+        )
+        self._delay_event_gauge = node.metrics.gauge(
+            "repro_ingress_queue_delay_ewma_event_seconds", lane_labels
+        )
         self._lane_clock: float | None = None
+        #: Wall seconds the most recent admitted event sat queued (0 on
+        #: the serial executor, which never queues).
+        self._last_wait = 0.0
+        self._tracer = (
+            SpanTracer(lane, TailSampler(spans))
+            if spans is not None
+            else None
+        )
+        if self._tracer is not None:
+            node.attach_tracer(self._tracer)
+            self._batcher.attach_tracer(self._tracer)
         self._flight = (
             FlightRecorder(
                 flight_interval,
@@ -148,26 +199,70 @@ class ReplayLaneWorker:
     def note_queue_wait(self, seconds: float) -> None:
         """Record wall-clock time an admitted event sat in the lane queue."""
         self._queue_wait_wall.observe(seconds)
+        self._last_wait = seconds
+        self.delay_estimator.observe_wall(seconds)
+        self._delay_wall_gauge.set(self.delay_estimator.wall_seconds)
 
     def process(self, event) -> None:
         """Consume one admitted ``(kind, record)`` event."""
         kind, record = event
+        tracer = self._tracer
         if kind == PROBE_EVENT:
-            self._observe_event_time(record.issued_at)
-            self._sweep(record.issued_at)
-            self.node.detection.registry.register(record.to_probe())
+            ts = record.issued_at
+            skew = self._observe_event_time(ts)
+            self._sweep(ts)
+            if tracer is not None:
+                wall_now = time.perf_counter()
+                tracer.begin(
+                    "probe", ts, wall_start=wall_now - self._last_wait
+                )
+                tracer.record(
+                    "queue_wait", ts, ts + skew,
+                    wall_duration=self._last_wait, wall_end=wall_now,
+                )
+                with tracer.span("register", ts):
+                    self.node.detection.registry.register(record.to_probe())
+                tracer.end()
+            else:
+                self.node.detection.registry.register(record.to_probe())
             self._probes_loaded += 1
             return
-        self._observe_event_time(record.timestamp)
-        self._sweep(record.timestamp)
+        ts = record.timestamp
+        skew = self._observe_event_time(ts)
+        self._sweep(ts)
         request = record.to_request()
-        response, outcome = self.node.handle_traced(request)
+        if tracer is not None:
+            # The root back-dates its wall start by the measured queue
+            # wait, and the wait itself lands as an explicit child span
+            # — always recorded, so trees keep one shape under every
+            # executor (the serial lane simply reports a 0-second wait).
+            # The retention flags are computed inside the handle span:
+            # their cost is attributed, not root self-time.
+            wall_now = time.perf_counter()
+            tracer.begin(
+                "request", ts, wall_start=wall_now - self._last_wait
+            )
+            tracer.record(
+                "queue_wait", ts, ts + skew,
+                wall_duration=self._last_wait, wall_end=wall_now,
+            )
+            with tracer.span("handle", ts):
+                response, outcome = self.node.handle_traced(request)
+                flags = _request_flags(response, outcome)
+        else:
+            response, outcome = self.node.handle_traced(request)
         if outcome is not None:
-            self._batcher.observe(outcome, request, response)
+            if tracer is not None and self._batcher.enabled:
+                with tracer.span("batch", ts):
+                    self._batcher.observe(outcome, request, response)
+            else:
+                self._batcher.observe(outcome, request, response)
         # Lane traffic bypasses ProxyNetwork.handle, so the network's
         # taps (trace recorders) are fired here instead.
         for tap in self._taps:
             tap(request, response)
+        if tracer is not None:
+            tracer.end(flags=flags)
         self._handled += 1
         if self._first is None:
             self._first = record.timestamp
@@ -175,8 +270,23 @@ class ReplayLaneWorker:
 
     def finish(self) -> LaneResult:
         """Flush scoring, finalize detection, reduce to a LaneResult."""
-        self._batcher.close()
-        self.node.detection.finalize()
+        tracer = self._tracer
+        if tracer is not None:
+            # One always-retained end-of-run trace per lane, covering
+            # the final batch flush and session finalization.
+            end = self._lane_clock if self._lane_clock is not None else 0.0
+            tracer.begin("finish", end)
+            if self._batcher.enabled:
+                with tracer.span("batch_close", end):
+                    self._batcher.close()
+            else:
+                self._batcher.close()
+            with tracer.span("finalize", end):
+                self.node.detection.finalize()
+            tracer.end(flags=("finish",))
+        else:
+            self._batcher.close()
+            self.node.detection.finalize()
         return LaneResult(
             lane=self.lane,
             stats=self.node.stats,
@@ -189,20 +299,24 @@ class ReplayLaneWorker:
             last_timestamp=self._last,
             metrics=self.node.metrics_snapshot(),
             flight=self._flight.frames if self._flight is not None else [],
+            spans=tracer.traces() if tracer is not None else [],
         )
 
-    def _observe_event_time(self, timestamp: float) -> None:
+    def _observe_event_time(self, timestamp: float) -> float:
         # Event-time queue skew: how far behind the lane's own clock an
         # event is when it reaches the worker.  Pure function of the
         # admitted stream, so it lands in the deterministic domain.
         if self._flight is not None:
             self._flight.tick(timestamp)
+        skew = 0.0
         if self._lane_clock is not None:
-            self._queue_wait_event.observe(
-                max(0.0, self._lane_clock - timestamp)
-            )
+            skew = max(0.0, self._lane_clock - timestamp)
+            self._queue_wait_event.observe(skew)
+            self.delay_estimator.observe_event(skew)
+            self._delay_event_gauge.set(self.delay_estimator.event_seconds)
         if self._lane_clock is None or timestamp > self._lane_clock:
             self._lane_clock = timestamp
+        return skew
 
     def _sweep(self, timestamp: float) -> None:
         # Same anchoring as the synchronous replay loop, but on this
@@ -242,6 +356,7 @@ class WorkloadLaneWorker:
         captcha_rng: RngStream,
         taps=(),
         flight_interval: float | None = None,
+        spans: SpanConfig | None = None,
     ) -> None:
         self.lane = lane
         self.node = node
@@ -255,12 +370,29 @@ class WorkloadLaneWorker:
         self._indices: list[int] = []
         self._agents: list = []
         self._starts: list[float] = []
+        lane_labels = {"lane": str(lane)}
         self._queue_wait_wall = node.metrics.histogram(
             "repro_ingress_queue_wait_seconds",
             WALL_SECONDS_BUCKETS,
-            {"lane": str(lane)},
+            lane_labels,
             wall=True,
         )
+        # Workload lanes buffer their sessions and drive them at
+        # finish, so only the wall domain of the delay estimate is
+        # meaningful (admission wait, not event skew).
+        self.delay_estimator = QueueDelayEstimator()
+        self._delay_wall_gauge = node.metrics.gauge(
+            "repro_ingress_queue_delay_ewma_seconds",
+            lane_labels,
+            wall=True,
+        )
+        self._tracer = (
+            SpanTracer(lane, TailSampler(spans))
+            if spans is not None
+            else None
+        )
+        if self._tracer is not None:
+            node.attach_tracer(self._tracer)
         self._flight = (
             FlightRecorder(
                 flight_interval,
@@ -274,6 +406,8 @@ class WorkloadLaneWorker:
     def note_queue_wait(self, seconds: float) -> None:
         """Record wall-clock time an admitted event sat in the lane queue."""
         self._queue_wait_wall.observe(seconds)
+        self.delay_estimator.observe_wall(seconds)
+        self._delay_wall_gauge.set(self.delay_estimator.wall_seconds)
 
     def process(self, event) -> None:
         """Accept one admitted session assignment."""
@@ -295,16 +429,26 @@ class WorkloadLaneWorker:
             self._annotate(record)
 
         handler = self.node.handle
-        if self._taps or self._flight is not None:
+        if self._taps or self._flight is not None or self._tracer is not None:
             # Lane traffic bypasses ProxyNetwork.handle; fire the
             # network's taps (trace recorders) per exchange here — and
             # tick the flight recorder on the driven event clock.
-            def handler(request, _handle=self.node.handle):
+            def handler(request, _handle=self.node.handle_traced):
                 if self._flight is not None:
                     self._flight.tick(request.timestamp)
-                response = _handle(request)
+                tracer = self._tracer
+                if tracer is not None:
+                    ts = request.timestamp
+                    tracer.begin("request", ts)
+                    with tracer.span("handle", ts):
+                        response, outcome = _handle(request)
+                        flags = _request_flags(response, outcome)
+                else:
+                    response, outcome = _handle(request)
                 for tap in self._taps:
                     tap(request, response)
+                if tracer is not None:
+                    tracer.end(flags=flags)
                 return response
 
         scheduler = InterleavedScheduler(
@@ -322,7 +466,17 @@ class WorkloadLaneWorker:
             if record.example is not None:
                 examples.append((index, record.example))
 
-        self.node.detection.finalize()
+        tracer = self._tracer
+        if tracer is not None:
+            end = max(
+                (record.ended_at for record in records), default=0.0
+            )
+            tracer.begin("finish", end)
+            with tracer.span("finalize", end):
+                self.node.detection.finalize()
+            tracer.end(flags=("finish",))
+        else:
+            self.node.detection.finalize()
         export_captcha_stats(self.node.metrics, self._captcha.stats)
         return LaneResult(
             lane=self.lane,
@@ -335,6 +489,7 @@ class WorkloadLaneWorker:
             captcha_stats=self._captcha.stats,
             metrics=self.node.metrics_snapshot(),
             flight=self._flight.frames if self._flight is not None else [],
+            spans=tracer.traces() if tracer is not None else [],
         )
 
     def _annotate(self, record: SessionRecord) -> None:

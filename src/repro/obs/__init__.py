@@ -12,6 +12,12 @@ and JSON exporters, and a virtual-time flight recorder
 queue-depth spikes, batch-latency blowups — reconstructable after the
 fact.
 
+:mod:`repro.obs.spans` adds the causal layer on top: per-request span
+trees in both clock domains, tail-based exemplar sampling
+(:class:`TailSampler`), a Chrome trace-event exporter
+(:func:`to_trace_events`), critical-path profiling
+(:func:`profile_stages`) and the live :class:`QueueDelayEstimator`.
+
 Two metric domains, one registry:
 
 * **deterministic** metrics (the default) are pure functions of the
@@ -45,6 +51,21 @@ from repro.obs.registry import (
     MetricsSnapshot,
     merge_snapshots,
 )
+from repro.obs.spans import (
+    NULL_SPAN,
+    ProfileReport,
+    QueueDelayEstimator,
+    Span,
+    SpanConfig,
+    SpanTracer,
+    SpanTree,
+    StageStats,
+    TailSampler,
+    merge_traces,
+    profile_stages,
+    to_trace_events,
+    trace_trees_from_json,
+)
 
 __all__ = [
     "Counter",
@@ -56,12 +77,25 @@ __all__ = [
     "MetricPoint",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NULL_SPAN",
+    "ProfileReport",
+    "QueueDelayEstimator",
     "SIZE_BUCKETS",
+    "Span",
+    "SpanConfig",
+    "SpanTracer",
+    "SpanTree",
+    "StageStats",
+    "TailSampler",
     "WALL_SECONDS_BUCKETS",
     "merge_flight",
     "merge_snapshots",
+    "merge_traces",
+    "profile_stages",
     "render_table",
     "snapshot_from_json",
     "to_json",
     "to_prometheus",
+    "to_trace_events",
+    "trace_trees_from_json",
 ]

@@ -187,9 +187,14 @@ def _histogram_quantile(point: MetricPoint, q: float) -> float:
 
 
 def render_table(snapshot: MetricsSnapshot) -> str:
-    """A human-readable metric table for ``repro stats``."""
+    """A human-readable metric table for ``repro stats``.
+
+    Metric families print in deterministic ``(name, labels)`` order —
+    every label set of one family is adjacent — and histograms derive
+    p50/p95/p99 upper-bound estimates from their bucket counts.
+    """
     lines: list[str] = []
-    for point in snapshot.points:
+    for point in sorted(snapshot.points, key=lambda p: p.key):
         labels = _label_text(point.labels)
         domain = "wall" if point.wall else "det "
         if point.kind == "histogram":
@@ -198,6 +203,7 @@ def render_table(snapshot: MetricsSnapshot) -> str:
                 detail = (
                     f"count={point.count} mean={mean:.6g} "
                     f"p50<={_histogram_quantile(point, 0.5):.6g} "
+                    f"p95<={_histogram_quantile(point, 0.95):.6g} "
                     f"p99<={_histogram_quantile(point, 0.99):.6g} "
                     f"sum={point.sum:.6g}"
                 )

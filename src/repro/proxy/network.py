@@ -158,10 +158,20 @@ class ProxyNetwork:
 
     def handle(self, request: Request) -> Response:
         """Route a request to its node and process it."""
-        response = self.node_for(request.client_ip).handle(request)
+        return self.handle_traced(request)[0]
+
+    def handle_traced(self, request: Request):
+        """Route a request to its node, exposing the detection outcome.
+
+        Returns ``(response, outcome)`` — what the sync replay loop's
+        tracing needs to flag robot/error traces; taps fire either way.
+        """
+        response, outcome = self.node_for(
+            request.client_ip
+        ).handle_traced(request)
         for tap in self._taps:
             tap(request, response)
-        return response
+        return response, outcome
 
     def housekeeping(self, now: float) -> None:
         """Run maintenance on every node."""

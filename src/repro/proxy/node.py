@@ -38,6 +38,7 @@ from repro.instrument.rewriter import (
     mark_uncacheable,
 )
 from repro.obs.registry import WALL_SECONDS_BUCKETS, MetricsRegistry
+from repro.obs.spans import NULL_SPAN, SpanTracer
 from repro.proxy.cache import ProxyCache
 from repro.proxy.ratelimit import RateLimitConfig, TokenBucketLimiter
 from repro.site.origin import OriginServer
@@ -159,6 +160,22 @@ class NodeShard:
         self._detection_requests = self.metrics.counter(
             "repro_detection_requests_total", labels
         )
+        self._tracer: SpanTracer | None = None
+
+    # -- tracing ------------------------------------------------------------
+
+    def attach_tracer(self, tracer: SpanTracer | None) -> None:
+        """Emit per-stage spans into ``tracer`` while handling requests.
+
+        The tracer is lane-owned; the shard only nests stage spans
+        under whatever trace its caller has open.  ``None`` detaches.
+        """
+        self._tracer = tracer
+
+    def _span(self, name: str, now: float):
+        if self._tracer is None:
+            return NULL_SPAN
+        return self._tracer.span(name, now)
 
     # -- request path -------------------------------------------------------
 
@@ -188,34 +205,38 @@ class NodeShard:
         self.stats.requests += 1
         now = request.timestamp
 
-        if self.limiter is not None and not self.limiter.allow(
-            request.client_ip, now
-        ):
-            self.stats.rate_limited += 1
-            return error_response(503, "rate limited"), None
+        if self.limiter is not None:
+            with self._span("ratelimit", now):
+                allowed = self.limiter.allow(request.client_ip, now)
+            if not allowed:
+                self.stats.rate_limited += 1
+                return error_response(503, "rate limited"), None
 
         outcome = self._run_detection(request)
 
         if outcome.blocked:
             self.stats.policy_blocked += 1
             response = error_response(403, "blocked by robot policy")
-            self._account(outcome, response, beacon=False)
+            self._account(outcome, response, beacon=False, now=now)
             return response, outcome
 
         if outcome.hit is not None:
-            response = beacon_response(outcome.hit)
+            with self._span("beacon", now):
+                response = beacon_response(outcome.hit)
             self.stats.beacon_requests += 1
-            self._account(outcome, response, beacon=True)
+            self._account(outcome, response, beacon=True, now=now)
             return response, outcome
 
-        cached = self.cache.lookup(request, now)
+        with self._span("cache", now):
+            cached = self.cache.lookup(request, now)
         if cached is not None:
             self.stats.cache_hits += 1
-            self._account(outcome, cached, beacon=False)
+            self._account(outcome, cached, beacon=False, now=now)
             return cached, outcome
 
-        response = self._forward(request)
-        self.cache.store(request, response, now)
+        with self._span("forward", now):
+            response = self._forward(request)
+            self.cache.store(request, response, now)
 
         if (
             self.instrument_enabled
@@ -223,16 +244,18 @@ class NodeShard:
             and response.content_kind is ContentKind.HTML
             and response.body
         ):
-            response = self._instrument(request, response)
+            with self._span("instrument", now):
+                response = self._instrument(request, response)
 
-        self._account(outcome, response, beacon=False)
+        self._account(outcome, response, beacon=False, now=now)
         return response, outcome
 
     # -- internals ----------------------------------------------------------
 
     def _run_detection(self, request: Request) -> RequestOutcome:
         started = time.perf_counter()
-        outcome = self.detection.handle_request(request)
+        with self._span("detection", request.timestamp):
+            outcome = self.detection.handle_request(request)
         self._detection_seconds.observe(time.perf_counter() - started)
         self._detection_requests.inc()
         return outcome
@@ -259,9 +282,14 @@ class NodeShard:
         )
 
     def _account(
-        self, outcome: RequestOutcome, response: Response, beacon: bool
+        self,
+        outcome: RequestOutcome,
+        response: Response,
+        beacon: bool,
+        now: float = 0.0,
     ) -> None:
-        self.detection.note_response(outcome, response)
+        with self._span("account", now):
+            self.detection.note_response(outcome, response)
         self.stats.bytes_served += response.size
         if beacon:
             self.stats.beacon_bytes_served += response.size
@@ -475,6 +503,19 @@ class ProxyNode:
     ) -> tuple[Response, RequestOutcome | None]:
         """Route the request to its owning state shard and process it."""
         return self.shard_for(request.client_ip).handle_traced(request)
+
+    # -- tracing ------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach one span tracer to every state shard (``None`` detaches).
+
+        Node-as-lane layouts (the sync replay loop, ``lanes_per_node=1``)
+        share a single tracer across the node's shards: requests are
+        handled one at a time, so stage spans still nest correctly under
+        the caller's open trace.
+        """
+        for shard in self._shards:
+            shard.attach_tracer(tracer)
 
     # -- metrics ------------------------------------------------------------
 

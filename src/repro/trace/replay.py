@@ -32,6 +32,13 @@ from repro.detection.set_algebra import SetAlgebraSummary
 from repro.ml.batch import BatchVerdict
 from repro.obs.flight import FlightFrame, FlightRecorder, merge_flight
 from repro.obs.registry import MetricsSnapshot
+from repro.obs.spans import (
+    SpanConfig,
+    SpanTracer,
+    SpanTree,
+    TailSampler,
+    merge_traces,
+)
 from repro.proxy.network import NetworkStats, ProxyNetwork
 from repro.trace.clf import ParseStats, TraceRecord, read_trace
 from repro.trace.recorder import ProbeRecord, read_probe_journal
@@ -93,6 +100,11 @@ class ReplayConfig:
     #: pipelined ingress (per-lane + admission-side recorders) — the
     #: sampling grid is absolute, so both produce the same frames.
     flight_interval: float | None = None
+    #: Tail-sampling budgets for causal span tracing (None = off).
+    #: Works on both paths: the synchronous loop runs one tracer per
+    #: node, the pipelined ingress one per lane — the virtual view of
+    #: the retained trees is identical either way.
+    spans: SpanConfig | None = None
 
     def __post_init__(self) -> None:
         if self.housekeeping_interval < 0:
@@ -150,6 +162,9 @@ class ReplayResult(SessionCensus):
     #: timeline (empty unless ``flight_interval`` was configured).
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     flight: list[FlightFrame] = field(default_factory=list)
+    #: Tail-sampled span trees, merged in (lane, seq) order (empty
+    #: unless ``spans`` was configured).
+    spans: list[SpanTree] = field(default_factory=list)
 
     @property
     def span(self) -> float:
@@ -258,6 +273,24 @@ class TraceReplayEngine:
             if cfg.flight_interval
             else None
         )
+        # Per-node tracers mirror the pipelined lanes exactly: lane =
+        # node index, one begun-trace sequence per node, queue_wait
+        # recorded (zero — there is no queue here) so tree shapes match
+        # the ingress path span for span.
+        tracers: list[SpanTracer] | None = None
+        lane_clocks: list[float | None] = []
+        if cfg.spans is not None:
+            tracers = [
+                SpanTracer(index, TailSampler(cfg.spans))
+                for index in range(len(self._network.nodes))
+            ]
+            lane_clocks = [None] * len(self._network.nodes)
+            for index, node in enumerate(self._network.nodes):
+                node.attach_tracer(tracers[index])
+        # Deferred for the same package-cycle reason as the pipelined
+        # imports below.
+        if tracers is not None:
+            from repro.ingress.workers import _request_flags
 
         for timestamp, priority, _stream, _seq, item in heapq.merge(*streams):
             if interval is not None:
@@ -266,13 +299,34 @@ class TraceReplayEngine:
                 elif timestamp >= next_sweep:
                     self._network.housekeeping(timestamp)
                     next_sweep = timestamp + interval
+            index = (
+                self._network.node_index_for(item.client_ip)
+                if recorders is not None or tracers is not None
+                else 0
+            )
             if recorders is not None:
-                recorders[
-                    self._network.node_index_for(item.client_ip)
-                ].tick(timestamp)
+                recorders[index].tick(timestamp)
+            tracer = None
+            if tracers is not None:
+                tracer = tracers[index]
+                clock = lane_clocks[index]
+                skew = (
+                    0.0 if clock is None else max(0.0, clock - timestamp)
+                )
+                if clock is None or timestamp > clock:
+                    lane_clocks[index] = timestamp
             if priority == _PROBE_EVENT:
                 node = self._network.node_for(item.client_ip)
-                node.detection.registry.register(item.to_probe())
+                if tracer is not None:
+                    tracer.begin("probe", timestamp)
+                    tracer.record(
+                        "queue_wait", timestamp, timestamp + skew
+                    )
+                    with tracer.span("register", timestamp):
+                        node.detection.registry.register(item.to_probe())
+                    tracer.end()
+                else:
+                    node.detection.registry.register(item.to_probe())
                 result.probes_loaded += 1
                 continue
 
@@ -281,13 +335,42 @@ class TraceReplayEngine:
                     item.agent_kind,
                     item.true_label,
                 )
-            self._network.handle(item.to_request())
+            if tracer is not None:
+                tracer.begin("request", timestamp)
+                tracer.record("queue_wait", timestamp, timestamp + skew)
+                with tracer.span("handle", timestamp):
+                    response, outcome = self._network.handle_traced(
+                        item.to_request()
+                    )
+                    flags = _request_flags(response, outcome)
+                tracer.end(flags=flags)
+            else:
+                self._network.handle(item.to_request())
             result.requests_replayed += 1
             if first is None:
                 first = timestamp
             last = timestamp
 
-        sessions = self._network.finalize_sessions()
+        if tracers is None:
+            sessions = self._network.finalize_sessions()
+        else:
+            # finalize_sessions(), inlined so each node's finalization
+            # lands in an always-retained finish trace (one per lane,
+            # exactly like the pipelined workers emit).
+            sessions = []
+            for index, node in enumerate(self._network.nodes):
+                tracer = tracers[index]
+                end = lane_clocks[index]
+                end = 0.0 if end is None else end
+                tracer.begin("finish", end)
+                with tracer.span("finalize", end):
+                    node.detection.finalize()
+                tracer.end(flags=("finish",))
+                sessions.extend(node.detection.tracker.analyzable())
+                node.attach_tracer(None)
+            result.spans = merge_traces(
+                tracer.traces() for tracer in tracers
+            )
         apply_session_identities(sessions, identities)
 
         result.sessions = sessions
@@ -360,6 +443,7 @@ class TraceReplayEngine:
             batch=cfg.batch or MicroBatchConfig(),
             scorer_model=cfg.scorer_model,
             flight_interval=cfg.flight_interval,
+            spans=cfg.spans,
         )
         pipeline = IngressPipeline(
             self._network,
@@ -399,6 +483,7 @@ class TraceReplayEngine:
             ml_verdicts=ingress.ml_verdicts,
             metrics=ingress.metrics,
             flight=ingress.flight,
+            spans=ingress.spans,
         )
 
     # -- stream plumbing ----------------------------------------------------

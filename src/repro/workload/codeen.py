@@ -41,10 +41,18 @@ class CodeenWeekConfig:
     site: SiteConfig = field(default_factory=SiteConfig)
     instrument: InstrumentConfig = field(default_factory=InstrumentConfig)
     collect_features: bool = False
+    #: Virtual-time flight-recorder sampling interval (None = off);
+    #: forwarded to the workload engine so experiment CLI runs can
+    #: archive overload timelines next to their metrics snapshot.
+    flight_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
             raise ValueError("n_sessions must be >= 1")
+        if self.flight_interval is not None and self.flight_interval <= 0:
+            raise ValueError(
+                "flight_interval must be positive (or None to disable)"
+            )
 
 
 @dataclass
@@ -133,6 +141,7 @@ class CodeenWeekExperiment:
                 n_sessions=cfg.n_sessions,
                 duration=cfg.duration,
                 collect_features=cfg.collect_features,
+                flight_interval=cfg.flight_interval,
             ),
         )
         workload = engine.run()

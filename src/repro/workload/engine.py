@@ -28,6 +28,7 @@ from repro.agents.population import PopulationMix
 from repro.captcha.service import CaptchaConfig, CaptchaService
 from repro.captcha.challenge import CaptchaOutcome
 from repro.ml.dataset import Dataset, SessionExample
+from repro.obs.spans import SpanConfig
 from repro.proxy.network import ProxyNetwork
 from repro.trace.arrival import ArrivalProfile, UniformArrival
 from repro.util.rng import RngStream
@@ -89,6 +90,15 @@ class WorkloadConfig:
     #: Pipelined lane granularity: 1 = one lane per node; the detection
     #: shard count = one lane per :class:`~repro.proxy.node.NodeShard`.
     lanes_per_node: int = 1
+    #: Virtual-time flight-recorder sampling interval (None = off).
+    #: Works in every mode: sequential/interleaved runs tick per-node
+    #: recorders per handled request; pipelined lanes record their own.
+    flight_interval: float | None = None
+    #: Tail-sampling budgets for causal span tracing (None = off).
+    #: Pipelined mode only — the other drivers interleave all nodes'
+    #: requests on one call stack, which a per-lane tracer cannot
+    #: represent.
+    spans: SpanConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
@@ -122,6 +132,12 @@ class WorkloadConfig:
             raise ValueError(
                 "lanes_per_node > 1 requires mode='pipelined'"
             )
+        if self.flight_interval is not None and self.flight_interval <= 0:
+            raise ValueError(
+                "flight_interval must be positive (or None to disable)"
+            )
+        if self.spans is not None and self.mode != "pipelined":
+            raise ValueError("span tracing requires mode='pipelined'")
 
 
 class WorkloadEngine:
@@ -187,6 +203,7 @@ class WorkloadEngine:
             if record.example is not None:
                 examples.append(record.example)
 
+        recorders = self._flight_recorders()
         if cfg.mode == "interleaved":
             records = self._run_interleaved(agents, starts, session_done)
         else:
@@ -197,6 +214,18 @@ class WorkloadEngine:
         # annotation pass could label them.
         apply_session_identities(sessions, session_identities(records))
         summary = self._network.session_sets().summary()
+        flight = []
+        if recorders is not None:
+            from repro.obs.flight import merge_flight
+
+            flight = merge_flight(
+                [recorder.frames for recorder in recorders],
+                [
+                    node.metrics_snapshot()
+                    for node in self._network.nodes
+                ],
+            )
+            self._handler = None
         return WorkloadResult(
             records=records,
             sessions=sessions,
@@ -206,7 +235,41 @@ class WorkloadEngine:
             dataset=Dataset(examples=examples),
             captcha=captcha,
             metrics=self._metrics_snapshot(captcha),
+            flight=flight,
         )
+
+    def _flight_recorders(self):
+        """Per-node flight recorders for the non-pipelined drivers.
+
+        Installs a handler wrapper (``self._handler``) that ticks the
+        owning node's recorder on each request's event timestamp before
+        handling it — the same absolute sampling grid pipelined lanes
+        record on.  Returns None (and leaves ``self._handler`` as the
+        plain network handler) when no flight interval is configured.
+        """
+        from repro.obs.flight import FlightRecorder
+
+        cfg = self._config
+        self._handler = self._network.handle
+        if not cfg.flight_interval:
+            return None
+        recorders = [
+            FlightRecorder(
+                cfg.flight_interval,
+                node.metrics,
+                snapshot=node.metrics_snapshot,
+            )
+            for node in self._network.nodes
+        ]
+
+        def handler(request):
+            recorders[
+                self._network.node_index_for(request.client_ip)
+            ].tick(request.timestamp)
+            return self._network.handle(request)
+
+        self._handler = handler
+        return recorders
 
     def _metrics_snapshot(self, captcha: CaptchaService):
         """Network metrics plus the engine-level CAPTCHA funnel.
@@ -231,7 +294,7 @@ class WorkloadEngine:
     ) -> list[SessionRecord]:
         cfg = self._config
         runner = SessionRunner(
-            self._network.handle,
+            self._handler,
             budget=cfg.budget,
             collect_features=cfg.collect_features,
         )
@@ -288,6 +351,8 @@ class WorkloadEngine:
                         captcha_config=cfg.captcha,
                         captcha_rng=captcha_rng,
                         taps=self._network.taps,
+                        flight_interval=cfg.flight_interval,
+                        spans=cfg.spans,
                     )
                 )
         pipeline = IngressPipeline(
@@ -298,9 +363,12 @@ class WorkloadEngine:
                 queue_depth=cfg.queue_depth,
                 housekeeping_interval=cfg.housekeeping_interval,
                 lanes_per_node=cfg.lanes_per_node,
+                flight_interval=cfg.flight_interval,
+                spans=cfg.spans,
             ),
         )
         for index, (agent, start) in enumerate(zip(agents, starts)):
+            pipeline.tick(start)
             pipeline.submit(
                 (SESSION_EVENT, index, agent, start), agent.client_ip
             )
@@ -338,6 +406,8 @@ class WorkloadEngine:
             dataset=Dataset(examples=examples),
             captcha=captcha,
             metrics=ingress.metrics,
+            flight=ingress.flight,
+            spans=ingress.spans,
         )
 
     def _run_interleaved(
@@ -350,7 +420,7 @@ class WorkloadEngine:
 
         cfg = self._config
         scheduler = InterleavedScheduler(
-            self._network.handle,
+            self._handler,
             budget=cfg.budget,
             collect_features=cfg.collect_features,
             housekeeping=self._network.housekeeping,

@@ -179,6 +179,116 @@ class TestMetricsCommands:
         assert "schema" in capsys.readouterr().err
 
 
+class TestTraceProfileCommands:
+    """Span tracing from the CLI: --trace-out and repro profile."""
+
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        import contextlib
+        import io
+
+        tmp_path = tmp_path_factory.mktemp("spans")
+        trace = str(tmp_path / "t.log.gz")
+        probes = str(tmp_path / "t.keys.gz")
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            assert main([
+                "record", "--out", trace, "--probes", probes,
+                "--mix", "smoke", "--sessions", "40", "--seed", "61",
+                "--nodes", "2",
+            ]) == 0
+        spans = str(tmp_path / "spans.json")
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            assert main([
+                "replay", "--trace", trace, "--probes", probes,
+                "--nodes", "2", "--sorted",
+                "--trace-out", spans, "--trace-sample", "4",
+            ]) == 0
+        return spans, sink.getvalue()
+
+    def test_trace_out_writes_valid_trace_events(self, traced):
+        import json
+
+        spans, out = traced
+        assert "sampled span trace(s)" in out
+        document = json.loads(open(spans, encoding="utf-8").read())
+        assert document["otherData"]["schema"] == "repro.spans/v1"
+        assert document["otherData"]["clock"] == "wall"
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_profile_renders_attribution_table(self, traced, capsys):
+        spans, _ = traced
+        assert main(["profile", spans]) == 0
+        out = capsys.readouterr().out
+        assert "wall clock" in out
+        assert "handle" in out
+        assert "detection" in out
+        assert "attributed to named stages:" in out
+
+    def test_profile_limit(self, traced, capsys):
+        spans, _ = traced
+        assert main(["profile", spans, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        # Header + summary + exactly one stage row.
+        stage_rows = [
+            line for line in out.splitlines()[2:]
+            if line and not line.startswith("attributed")
+        ]
+        assert len(stage_rows) == 1
+
+    def test_profile_rejects_non_trace_file(self, tmp_path, capsys):
+        bogus = tmp_path / "nope.json"
+        bogus.write_text('{"traceEvents": []}')
+        assert main(["profile", str(bogus)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_trace_sample_needs_trace_out(self, capsys):
+        assert main([
+            "replay", "--trace", "x.log", "--trace-sample", "4",
+        ]) == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_record_trace_out_needs_pipelined_mode(self, tmp_path, capsys):
+        assert main([
+            "record", "--out", str(tmp_path / "t.log"),
+            "--trace-out", str(tmp_path / "s.json"),
+            "--mix", "smoke", "--sessions", "10",
+        ]) == 2
+        assert "pipelined" in capsys.readouterr().err
+
+
+class TestExperimentMetricsOut:
+    """--metrics-out / --flight-interval on experiment subcommands."""
+
+    def test_table1_writes_workload_metrics(self, tmp_path, capsys):
+        out = str(tmp_path / "m.json")
+        assert main([
+            "table1", "--sessions", "120", "--seed", "61",
+            "--flight-interval", "90000", "--metrics-out", out,
+        ]) == 0
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        from repro.obs.export import snapshot_from_json
+
+        snap, flight = snapshot_from_json(open(out, encoding="utf-8").read())
+        assert snap.series("repro_detection_seconds")
+        assert flight  # --flight-interval reached the workload engine
+
+    def test_flight_interval_rejected_when_runner_lacks_it(self, capsys):
+        assert main([
+            "figure3", "--sessions", "120", "--seed", "61",
+            "--flight-interval", "90000",
+        ]) == 2
+        assert "--flight-interval" in capsys.readouterr().err
+
+    def test_metrics_out_rejected_for_all(self, capsys):
+        assert main([
+            "all", "--metrics-out", "m.json",
+        ]) == 2
+        assert "single workload experiment" in capsys.readouterr().err
+
+
 class TestReport:
     def test_subset_report(self):
         report = generate_report(
