@@ -44,7 +44,7 @@ from test_bench_ingress import (  # noqa: E402
     _suite_trace,
 )
 
-PR_NUMBER = 7
+PR_NUMBER = 9
 
 
 def _cores() -> int:
@@ -52,6 +52,95 @@ def _cores() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+class _SlowWorker:
+    """A deliberately under-provisioned lane for the overload probe."""
+
+    def __init__(self, lane: int, delay: float) -> None:
+        self.lane = lane
+        self.delay = delay
+        self.handled = 0
+
+    def process(self, event) -> None:
+        time.sleep(self.delay)
+        self.handled += 1
+
+    def finish(self):
+        from repro.ingress.workers import LaneResult
+        from repro.proxy.node import NodeStats
+
+        return LaneResult(
+            lane=self.lane, stats=NodeStats(), handled=self.handled
+        )
+
+
+def _overload_probe(
+    budget: float = 0.25,
+    depth: int = 512,
+    events: int = 2000,
+) -> dict:
+    """Measure the PR's admission path: p99 predicted lane delay under
+    ADAPTIVE vs binary SHED at the same queue depth, same arrivals.
+
+    The acceptance number the overload tests pin: the adaptive
+    controller keeps the prediction near the budget while binary
+    shedding lets it saturate at the full queue's drain time.
+    """
+    from repro.ingress.pipeline import IngressConfig, IngressPipeline
+    from repro.ingress.queues import ShedPolicy
+    from repro.overload.admission import AdaptiveConfig
+    from repro.proxy.network import ProxyNetwork
+    from repro.util.rng import RngStream
+
+    def drive(policy, adaptive=None):
+        network = ProxyNetwork(
+            origins={},
+            rng=RngStream(0, "bench"),
+            n_nodes=1,
+            instrument_enabled=False,
+        )
+        config = IngressConfig(
+            executor="thread",
+            queue_depth=depth,
+            policy=policy,
+            adaptive=adaptive,
+        )
+        pipeline = IngressPipeline(
+            network, [_SlowWorker(0, delay=0.002)], config
+        )
+        samples = []
+        try:
+            for index in range(events):
+                pipeline.tick(float(index))
+                pipeline.submit(("event", index), f"10.0.{index % 24}.1")
+                samples.append(pipeline.queue_delays().get(0, 0.0))
+                time.sleep(0.0005)
+        finally:
+            result = pipeline.close()
+        tail = sorted(samples[len(samples) // 4 :])
+        p99 = tail[min(len(tail) - 1, int(len(tail) * 0.99))]
+        return p99, result.shed
+
+    shed_p99, shed_count = drive(ShedPolicy.SHED)
+    adaptive_p99, adaptive_count = drive(
+        ShedPolicy.ADAPTIVE,
+        AdaptiveConfig(
+            delay_budget=budget,
+            ramp_requests=64,
+            duty_cycle=4,
+            fairness_half_life=1.0,
+        ),
+    )
+    return {
+        "delay_budget_seconds": budget,
+        "queue_depth": depth,
+        "events": events,
+        "shed_p99_predicted_seconds": round(shed_p99, 4),
+        "adaptive_p99_predicted_seconds": round(adaptive_p99, 4),
+        "shed_dropped": shed_count,
+        "adaptive_dropped": adaptive_count,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,6 +206,10 @@ def main(argv: list[str] | None = None) -> int:
         "peak_lane_rss_kib": child_rss,
         "python": platform.python_version(),
         "cores": _cores(),
+        # The PR-9 admission path under synthetic overload: adaptive
+        # keeps the p99 prediction near the budget, binary SHED at the
+        # same depth saturates.
+        "overload": _overload_probe(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -70,6 +70,31 @@ def test_sessions_per_sec_keeps_the_trajectory():
     )
 
 
+def test_adaptive_admission_keeps_predicted_delay_bounded():
+    """Gate the PR-9 admission path: the committed overload probe must
+    show adaptive admission holding the predicted delay down where
+    binary shedding at the same queue depth saturates."""
+    trajectory = _trajectory()
+    latest = trajectory[-1]
+    overload = latest.get("overload")
+    if overload is None:
+        pytest.skip(
+            f"{latest['_file']} predates the overload probe"
+        )
+    budget = overload["delay_budget_seconds"]
+    adaptive = overload["adaptive_p99_predicted_seconds"]
+    binary = overload["shed_p99_predicted_seconds"]
+    # Both modes were genuinely overloaded when the numbers were taken.
+    assert overload["adaptive_dropped"] > 0
+    assert overload["shed_dropped"] > 0
+    # Binary shedding saturates past the budget; adaptive stays a
+    # factor lower and inside a generous band of the budget (committed
+    # numbers are single runs on whatever machine produced them).
+    assert binary > budget
+    assert adaptive < binary / 2
+    assert adaptive <= budget * 2
+
+
 def test_committed_trajectory_files_are_well_formed():
     trajectory = _trajectory()
     assert trajectory, "no committed BENCH_*.json files found"

@@ -7,12 +7,19 @@ machine-learning dataset.  Images are not rendered; the model captures
 who gets offered a test, who attempts it, and who solves it.
 """
 
-from repro.captcha.challenge import CaptchaChallenge, CaptchaOutcome
+from repro.captcha.challenge import (
+    CHALLENGE_PATH,
+    CaptchaChallenge,
+    CaptchaOutcome,
+    challenge_redirect,
+)
 from repro.captcha.service import CaptchaConfig, CaptchaService
 
 __all__ = [
+    "CHALLENGE_PATH",
     "CaptchaChallenge",
     "CaptchaConfig",
     "CaptchaOutcome",
     "CaptchaService",
+    "challenge_redirect",
 ]

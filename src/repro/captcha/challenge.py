@@ -54,3 +54,35 @@ def generate_challenge(rng: RngStream) -> CaptchaChallenge:
         challenge_id=random_hex_key(rng, 64),
         difficulty=rng.uniform(0.3, 0.8),
     )
+
+
+#: Where the graduated response ladder sends challenged clients.
+CHALLENGE_PATH = "/__captcha__/challenge"
+
+
+def challenge_redirect(location: str = CHALLENGE_PATH):
+    """A 302 redirect into the CAPTCHA flow, for the response ladder.
+
+    The ``x-robot-ladder: captcha`` header marks the enforcement so
+    span flagging and the trace tooling can attribute the redirect to
+    the ladder rather than to origin behaviour.  Imported lazily from
+    ``repro.http`` to keep this module a leaf for the solver model.
+    """
+    from repro.http.headers import Headers
+    from repro.http.message import Response
+
+    body = (
+        b"<html><body><h1>Verification required</h1>"
+        b"<p>Solve the challenge to continue browsing.</p></body></html>"
+    )
+    return Response(
+        status=302,
+        headers=Headers(
+            [
+                ("Location", location),
+                ("Content-Type", "text/html"),
+                ("x-robot-ladder", "captcha"),
+            ]
+        ),
+        body=body,
+    )

@@ -143,6 +143,19 @@ def build_record_parser() -> argparse.ArgumentParser:
              "pipelined (0 = unbounded)",
     )
     parser.add_argument(
+        "--shed", nargs="?", const="shed", default=None,
+        choices=("shed", "adaptive"), metavar="POLICY",
+        help="for --mode pipelined: 'shed' drops (and counts) whole "
+             "sessions when a lane queue is full (needs --queue-depth); "
+             "'adaptive' sheds at the front door once the predicted "
+             "lane delay exceeds --delay-budget, with per-IP fairness",
+    )
+    parser.add_argument(
+        "--delay-budget", type=float, default=1.0, metavar="SECONDS",
+        help="predicted per-lane queue delay that triggers adaptive "
+             "shedding (default 1.0; only with --shed adaptive)",
+    )
+    parser.add_argument(
         "--lanes-per-node", type=int, default=1,
         help="ingress lanes per node for --mode pipelined: 1 runs the "
              "whole node per lane; the detection shard count runs one "
@@ -239,9 +252,26 @@ def build_replay_parser() -> argparse.ArgumentParser:
              "needs --executor)",
     )
     parser.add_argument(
-        "--shed", action="store_true",
-        help="shed (and count) instead of blocking when a lane queue "
-             "is full (needs --executor and --queue-depth)",
+        "--shed", nargs="?", const="shed", choices=("shed", "adaptive"),
+        default=None, metavar="POLICY",
+        help="load-shedding policy: 'shed' (the default when the flag "
+             "is given bare) sheds and counts when a lane queue is "
+             "full (needs --executor and --queue-depth); 'adaptive' "
+             "sheds at the front door when a lane's predicted queue "
+             "delay exceeds --delay-budget, with hysteresis and "
+             "per-IP fairness (needs --executor thread|process)",
+    )
+    parser.add_argument(
+        "--delay-budget", type=float, default=1.0,
+        help="adaptive shedding: predicted per-lane queue delay budget "
+             "in wall seconds (default 1.0; needs --shed adaptive)",
+    )
+    parser.add_argument(
+        "--ladder", action="store_true",
+        help="graduated response ladder (throttle -> CAPTCHA -> "
+             "block), escalated live from micro-batch checkpoint "
+             "verdicts per client IP (needs --executor and "
+             "--score-rounds)",
     )
     parser.add_argument(
         "--lanes-per-node", type=int, default=1,
@@ -386,6 +416,8 @@ def run_record(argv: list[str]) -> int:
     rng = RngStream(args.seed, "record")
     network, entry_url = experiment.build_network(rng)
     try:
+        from repro.overload.admission import AdaptiveConfig
+
         workload_config = WorkloadConfig(
             n_sessions=args.sessions,
             duration=duration,
@@ -395,6 +427,12 @@ def run_record(argv: list[str]) -> int:
             shards=args.shards,
             executor=args.executor,
             queue_depth=args.queue_depth or None,
+            shed=args.shed == "shed",
+            adaptive=(
+                AdaptiveConfig(delay_budget=args.delay_budget)
+                if args.shed == "adaptive"
+                else None
+            ),
             lanes_per_node=args.lanes_per_node,
             flight_interval=args.flight_interval or None,
             spans=spans,
@@ -422,6 +460,14 @@ def run_record(argv: list[str]) -> int:
     print(f"analyzable sessions: {result.analyzable_count}")
     for kind, count in sorted(result.kind_census().items()):
         print(f"  {kind:20s} {count}")
+    if result.overload is not None:
+        report = result.overload
+        episodes = sum(lane.entered for lane in report.lanes)
+        print(
+            f"adaptive admission: {report.shed} shed / "
+            f"{report.admitted} admitted over {episodes} overload "
+            f"episode(s)"
+        )
     if args.metrics_out:
         _write_metrics(args.metrics_out, result.metrics, result.flight)
     if args.trace_out:
@@ -489,6 +535,13 @@ def run_replay(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.ladder and not args.score_rounds:
+        print(
+            "repro replay: --ladder needs --score-rounds (checkpoint "
+            "verdicts from the micro-batch model drive the escalation)",
+            file=sys.stderr,
+        )
+        return 2
     network = ProxyNetwork(
         origins={},
         rng=RngStream(0, "replay"),
@@ -497,6 +550,16 @@ def run_replay(argv: list[str]) -> int:
     )
     try:
         spans = _span_config(args)
+        adaptive = None
+        if args.shed == "adaptive":
+            from repro.overload.admission import AdaptiveConfig
+
+            adaptive = AdaptiveConfig(delay_budget=args.delay_budget)
+        ladder = None
+        if args.ladder:
+            from repro.overload.ladder import LadderConfig
+
+            ladder = LadderConfig()
         config = ReplayConfig(
             housekeeping_interval=args.housekeeping,
             assume_sorted=args.assume_sorted,
@@ -505,7 +568,9 @@ def run_replay(argv: list[str]) -> int:
             shards=args.shards,
             executor=args.executor,
             queue_depth=args.queue_depth or None,
-            shed=args.shed,
+            shed=args.shed == "shed",
+            adaptive=adaptive,
+            ladder=ladder,
             lanes_per_node=args.lanes_per_node,
             scorer_model=(
                 _demo_model(args.score_rounds) if args.score_rounds
@@ -540,6 +605,35 @@ def run_replay(argv: list[str]) -> int:
         print(
             f"load shed at admission: {result.stats.shed} events "
             f"({result.stats.queued} queued)"
+        )
+    if result.overload is not None:
+        report = result.overload
+        episodes = sum(lane.entered for lane in report.lanes)
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(report.reasons.items())
+        )
+        print(
+            f"adaptive admission: {report.shed} shed / "
+            f"{report.admitted} admitted over {episodes} overload "
+            f"episode(s)" + (f" [{reasons}]" if reasons else "")
+        )
+    if result.ladder is not None:
+        stages = {}
+        for record in result.ladder["ips"].values():
+            stages[record["stage"]] = stages.get(record["stage"], 0) + 1
+        staged = ", ".join(
+            f"{stage}={count}" for stage, count in sorted(stages.items())
+        )
+        print(
+            f"response ladder: {len(result.ladder['ips'])} tracked "
+            f"IP(s), {len(result.ladder['transitions'])} transition(s)"
+            + (f" [{staged}]" if staged else "")
+        )
+        print(
+            f"  throttled={result.stats.throttled} "
+            f"challenged={result.stats.challenged} "
+            f"blocked={result.stats.ladder_blocked}"
         )
     for sample in stats.samples:
         print(f"  malformed: {sample}")

@@ -29,6 +29,7 @@ from repro.http.message import Request, Response
 from repro.ml.adaboost import AdaBoostModel
 from repro.ml.batch import BatchScorer, BatchVerdict
 from repro.ml.features import FeatureAccumulator
+from repro.overload.ladder import is_checkpoint
 from repro.util.timeutil import HOUR
 
 
@@ -71,11 +72,15 @@ class MicroBatcher:
         config: MicroBatchConfig | None = None,
     ) -> None:
         self._config = config or MicroBatchConfig()
+        self._model = model
         self._scorer = (
             BatchScorer(model, batch_size=1 << 30, keep_verdicts=False)
             if model is not None
             else None
         )
+        #: Response-ladder router fed by checkpoint verdicts; None = off.
+        self._ladder = None
+        self._checkpoint_base = 0
         #: session_id -> streaming Table 2 attributes.
         self._accumulators: dict[str, FeatureAccumulator] = {}
         #: session_id -> (key, last event timestamp), for idle eviction.
@@ -133,6 +138,27 @@ class MicroBatcher:
         if self._scorer is not None:
             self._scorer.attach_metrics(registry, labels)
 
+    def attach_ladder(self, router, checkpoint_base: int) -> None:
+        """Drive a graduated response ladder from checkpoint verdicts.
+
+        ``router`` exposes ``observe_verdict(ip, margin, ts)`` (a
+        :class:`~repro.overload.ladder.ResponseLadder` or the node's
+        partitioned facade).  Checkpoints — a session's own observed
+        request count hitting a power of two >= ``checkpoint_base`` —
+        score that single session immediately, outside the flush
+        cadence: flush boundaries depend on the lane's combined stream,
+        while checkpoints are a pure function of each session's own
+        stream, which is what keeps ladder state byte-identical across
+        executors *and* lane layouts.  Checkpoint verdicts feed only
+        the ladder; ``verdicts`` still comes from batch flushes alone.
+        """
+        if self._model is None:
+            raise ValueError(
+                "a scoring model is required to drive the ladder"
+            )
+        self._ladder = router
+        self._checkpoint_base = checkpoint_base
+
     @property
     def enabled(self) -> bool:
         """Whether a model is attached (otherwise observe() is a no-op)."""
@@ -161,6 +187,15 @@ class MicroBatcher:
         if accumulator is None:
             accumulator = self._accumulators[session_id] = FeatureAccumulator()
         accumulator.observe(request, response)
+        if self._ladder is not None and is_checkpoint(
+            accumulator.total, self._checkpoint_base
+        ):
+            margin = float(
+                self._model.score(accumulator.vector().reshape(1, -1))[0]
+            )
+            self._ladder.observe_verdict(
+                key[0], margin, request.timestamp
+            )
         self._last_seen[session_id] = (key, request.timestamp)
         self._clock = max(self._clock, request.timestamp)
         if session_id not in self._dirty:

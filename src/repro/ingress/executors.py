@@ -465,6 +465,11 @@ def build_executor(
     chunk_size: int = 256,
 ) -> LaneExecutorBase:
     """Instantiate an executor by name (``serial``/``thread``/``process``)."""
+    if policy is ShedPolicy.ADAPTIVE:
+        # Adaptive shedding is decided at the front door (the pipeline's
+        # DelayBudgetController); what survives admission must not be
+        # dropped again, so the lane queues run as a blocking backstop.
+        policy = ShedPolicy.BLOCK
     if kind == "serial":
         return SerialLaneExecutor(workers)
     if kind == "thread":

@@ -44,6 +44,12 @@ from repro.obs.registry import (
     merge_snapshots,
 )
 from repro.obs.spans import SpanConfig, SpanTree, merge_traces
+from repro.overload.admission import (
+    AdaptiveConfig,
+    DelayBudgetController,
+    OverloadReport,
+)
+from repro.overload.ladder import LadderConfig, merge_ladder_states
 from repro.proxy.network import NetworkStats, ProxyNetwork
 from repro.state.partition import partition_index
 
@@ -57,7 +63,11 @@ class IngressConfig:
     ``BLOCK`` (default) applies backpressure and preserves bit-exact
     determinism at any depth; ``SHED`` refuses the event, counts it in
     the node/network ``shed`` statistic, and keeps queueing delay
-    bounded.  ``chunk_size`` is the process executor's IPC batch size —
+    bounded; ``ADAPTIVE`` sheds at the front door when the lane's
+    *predicted* queue delay exceeds ``adaptive.delay_budget``, with
+    hysteresis and per-IP fairness (see ``repro.overload``), while the
+    lane queues themselves block as the backstop.
+    ``chunk_size`` is the process executor's IPC batch size —
     invisible to results.  ``scorer_model`` enables per-lane
     micro-batched ensemble scoring under the ``batch`` budgets.
     """
@@ -84,6 +94,12 @@ class IngressConfig:
     #: :class:`~repro.obs.spans.SpanTracer` and its retained trees ride
     #: the lane result back, merged in lane order.
     spans: SpanConfig | None = None
+    #: Delay-budget admission tuning; required (and defaulted) when
+    #: ``policy`` is ``ShedPolicy.ADAPTIVE``, rejected otherwise.
+    adaptive: AdaptiveConfig | None = None
+    #: Graduated response ladder (throttle -> CAPTCHA -> block) driven
+    #: by micro-batch checkpoint verdicts; needs ``scorer_model``.
+    ladder: LadderConfig | None = None
 
     def __post_init__(self) -> None:
         if self.flight_interval is not None and self.flight_interval <= 0:
@@ -105,6 +121,38 @@ class IngressConfig:
             raise ValueError("housekeeping_interval must be non-negative")
         if self.lanes_per_node < 1:
             raise ValueError("lanes_per_node must be >= 1")
+        if self.policy is ShedPolicy.SHED and self.queue_depth is None:
+            # An unbounded queue never refuses a put, so SHED would be
+            # a silent no-op: the run *looks* shed-protected while
+            # shedding nothing.  Refuse loudly instead.
+            raise ValueError(
+                "ShedPolicy.SHED with queue_depth=None can never shed "
+                "(an unbounded queue never refuses): set a queue_depth "
+                "or use ShedPolicy.BLOCK"
+            )
+        if self.policy is ShedPolicy.ADAPTIVE:
+            if self.executor == "serial":
+                # The serial executor handles events inline; its queues
+                # are always empty, so the predicted delay is pinned at
+                # zero and ADAPTIVE could never shed — the same silent
+                # no-op shape as SHED on an unbounded queue.
+                raise ValueError(
+                    "ShedPolicy.ADAPTIVE needs a queued executor "
+                    "(thread or process): the serial executor has no "
+                    "backlog to measure a delay on"
+                )
+            if self.adaptive is None:
+                object.__setattr__(self, "adaptive", AdaptiveConfig())
+        elif self.adaptive is not None:
+            raise ValueError(
+                "adaptive admission tuning requires "
+                "policy=ShedPolicy.ADAPTIVE"
+            )
+        if self.ladder is not None and self.scorer_model is None:
+            raise ValueError(
+                "the graduated response ladder is driven by micro-batch "
+                "checkpoint verdicts: set scorer_model to enable it"
+            )
 
 
 @dataclass
@@ -130,6 +178,12 @@ class IngressResult:
     #: Tail-sampled span trees from every lane, merged in (lane, seq)
     #: order (empty unless ``spans`` was configured).
     spans: list[SpanTree] = field(default_factory=list)
+    #: Network-wide graduated-response ladder state (None unless the
+    #: ladder was enabled); byte-identical across executors and lane
+    #: layouts once canonically serialised.
+    ladder: dict | None = None
+    #: Adaptive admission ledger (None unless policy was ADAPTIVE).
+    overload: OverloadReport | None = None
 
     def session_sets(self) -> SessionSets:
         """Set-algebra census over the merged analyzable sessions."""
@@ -187,6 +241,16 @@ class IngressPipeline:
         #: Admission-side registry: queue/shed accounting the lanes
         #: cannot see (they live behind the queues being measured).
         self.metrics = MetricsRegistry()
+        #: Front-door delay-budget controller (ADAPTIVE policy only);
+        #: the executor itself runs BLOCK as the backstop, so whatever
+        #: the controller admits is never dropped again.
+        self._adaptive = (
+            DelayBudgetController(
+                config.adaptive, expected, metrics=self.metrics
+            )
+            if config.policy is ShedPolicy.ADAPTIVE
+            else None
+        )
         # Live queue-delay prediction state: per-lane drain-rate EWMAs
         # fed from (enqueued - depth) deltas on the wall clock.
         self._delay_updated: float | None = None
@@ -235,9 +299,14 @@ class IngressPipeline:
         """
         if self._closed:
             raise RuntimeError("submit() on a closed ingress pipeline")
-        return self._executor.submit(
-            self.lane_for(client_ip), event, force=force
-        )
+        lane = self.lane_for(client_ip)
+        if self._adaptive is not None and not force:
+            admitted = self._adaptive.admit(
+                lane, client_ip, self._predicted_delays.get(lane, 0.0)
+            )
+            if not admitted:
+                return False
+        return self._executor.submit(lane, event, force=force)
 
     #: Wall seconds between live queue-delay re-estimates (tick() is
     #: per-arrival; sampling queue depths that often would be noise).
@@ -305,12 +374,7 @@ class IngressPipeline:
                 predicted = self._DELAY_CAP
             else:
                 predicted = min(self._DELAY_CAP, depth / rate)
-            self._predicted_delays[lane] = predicted
-            self.metrics.gauge(
-                "repro_ingress_queue_delay_predicted_seconds",
-                {"lane": str(lane)},
-                wall=True,
-            ).set(predicted)
+            self._set_predicted(lane, predicted)
 
     def _collect_admission(self) -> None:
         # Transport chunking must not show up in frames: flushed, the
@@ -318,6 +382,7 @@ class IngressPipeline:
         # this virtual-time boundary — identical on every executor.
         self._executor.flush_pending()
         depths = self._executor.lane_depths()
+        adaptive_shed = self._adaptive_lane_shed()
         for counters in self._executor.telemetry_now():
             labels = {"lane": str(counters.lane)}
             self.metrics.counter(
@@ -325,7 +390,13 @@ class IngressPipeline:
             ).set(counters.enqueued)
             self.metrics.counter(
                 "repro_ingress_shed_total", labels
-            ).set(counters.shed)
+            ).set(counters.shed + adaptive_shed[counters.lane])
+            if counters.shed:
+                self.metrics.counter(
+                    "repro_ingress_shed_reason_total",
+                    {**labels, "reason": "queue_full"},
+                    wall=True,
+                ).set(counters.shed)
             self.metrics.gauge(
                 "repro_ingress_queue_high_watermark",
                 labels,
@@ -335,6 +406,26 @@ class IngressPipeline:
             self.metrics.gauge(
                 "repro_ingress_queue_depth", labels, wall=True
             ).set(depths[counters.lane])
+        # A lane that fully drained since the last tick() must not keep
+        # reporting its last (pre-drain) delay prediction: a stale
+        # non-zero series would tell the adaptive controller — and any
+        # flight-recorder frame — that an empty lane is still slow.
+        for lane, predicted in list(self._predicted_delays.items()):
+            if predicted and depths[lane] == 0:
+                self._set_predicted(lane, 0.0)
+
+    def _set_predicted(self, lane: int, predicted: float) -> None:
+        self._predicted_delays[lane] = predicted
+        self.metrics.gauge(
+            "repro_ingress_queue_delay_predicted_seconds",
+            {"lane": str(lane)},
+            wall=True,
+        ).set(predicted)
+
+    def _adaptive_lane_shed(self) -> list[int]:
+        if self._adaptive is None:
+            return [0] * self._executor.n_lanes
+        return self._adaptive.lane_shed_counts()
 
     def close(self) -> IngressResult:
         """Drain every lane, collect lane results, merge deterministically."""
@@ -346,15 +437,18 @@ class IngressPipeline:
 
     def _merge(self, lane_results, telemetry) -> IngressResult:
         result = IngressResult(lanes=list(lane_results))
+        adaptive_shed = self._adaptive_lane_shed()
         firsts: list[float] = []
         lasts: list[float] = []
         for lane in lane_results:
             counters = telemetry[lane.lane]
             # Admission-side accounting folds into the lane's own node
             # stats so Table-1 aggregates always balance: every arrival
-            # is either queued (and eventually handled) or shed.
+            # is either queued (and eventually handled) or shed —
+            # whether the queue refused it or the delay-budget
+            # controller did.
             lane.stats.queued += counters.enqueued
-            lane.stats.shed += counters.shed
+            lane.stats.shed += counters.shed + adaptive_shed[lane.lane]
             result.ml_verdicts.extend(lane.ml_verdicts)
             result.stats.absorb(lane.stats)
             result.handled += lane.handled
@@ -400,13 +494,32 @@ class IngressPipeline:
             ).set(counters.enqueued)
             self.metrics.counter(
                 "repro_ingress_shed_total", labels
-            ).set(counters.shed)
+            ).set(counters.shed + adaptive_shed[counters.lane])
+            if counters.shed:
+                self.metrics.counter(
+                    "repro_ingress_shed_reason_total",
+                    {**labels, "reason": "queue_full"},
+                    wall=True,
+                ).set(counters.shed)
             self.metrics.gauge(
                 "repro_ingress_queue_high_watermark",
                 labels,
                 wall=True,
                 agg="max",
             ).set_max(counters.high_watermark)
+        # Every queue is drained at close: clear any still-published
+        # delay prediction so the final snapshot cannot carry a stale
+        # non-zero series for an empty lane.
+        for lane, predicted in list(self._predicted_delays.items()):
+            if predicted:
+                self._set_predicted(lane, 0.0)
+        if self._adaptive is not None:
+            result.overload = self._adaptive.report()
+        ladder_states = [
+            lane.ladder for lane in lane_results if lane.ladder is not None
+        ]
+        if ladder_states:
+            result.ladder = merge_ladder_states(ladder_states)
         lane_snapshots = [
             lane.metrics
             for lane in lane_results
@@ -456,6 +569,7 @@ def replay_workers(
                     taps=network.taps,
                     flight_interval=config.flight_interval,
                     spans=config.spans,
+                    ladder=config.ladder,
                 )
             )
     return workers

@@ -19,6 +19,14 @@ by :class:`ShedPolicy`:
   silently lose traffic.  How *many* events shed depends on consumer
   speed, so a shedding run trades the determinism guarantee for bounded
   queueing delay — exactly the trade a live deployment makes.
+
+A third policy, ``ADAPTIVE``, is decided *before* the queue: the
+ingress pipeline's :class:`~repro.overload.admission.DelayBudgetController`
+sheds at the front door when the lane's predicted queue delay exceeds a
+latency budget, and the queue itself runs in ``BLOCK`` mode as the
+backstop.  The lane queue therefore only distinguishes blocking from
+non-blocking puts; ``ADAPTIVE`` never reaches :meth:`LaneQueue.put`
+with ``block=False``.
 """
 
 from __future__ import annotations
@@ -29,10 +37,12 @@ from enum import Enum
 
 
 class ShedPolicy(Enum):
-    """What admission does when a lane queue is full."""
+    """What admission does when a lane queue is full (or predicted slow)."""
 
     BLOCK = "block"
     SHED = "shed"
+    #: Delay-budget admission with per-IP fairness; see ``repro.overload``.
+    ADAPTIVE = "adaptive"
 
 
 class QueueClosed(RuntimeError):

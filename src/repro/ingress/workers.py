@@ -56,6 +56,7 @@ from repro.obs.spans import (
     SpanTree,
     TailSampler,
 )
+from repro.overload.ladder import LADDER_HEADER, LadderConfig
 from repro.proxy.node import NodeShard, NodeStats, ProxyNode
 from repro.util.rng import RngStream
 from repro.workload.session_run import SessionRecord
@@ -91,11 +92,20 @@ class LaneResult:
     #: Tail-sampled span trees this lane retained (picklable; merged in
     #: lane order like metrics).
     spans: list[SpanTree] = field(default_factory=list)
+    #: Graduated-response ladder export for this lane's IPs (None when
+    #: the ladder was not enabled); merged across lanes by plain union.
+    ladder: dict | None = None
 
 
 def _request_flags(response, outcome) -> tuple[str, ...]:
     """Retention flags for one handled exchange's trace."""
     flags: list[str] = []
+    ladder_stage = response.headers.get(LADDER_HEADER)
+    if ladder_stage is not None:
+        # Ladder enforcements never reach detection (outcome is None);
+        # the response header is the span's attribution instead.
+        flags.append("robot")
+        flags.append(f"ladder:{ladder_stage}")
     if outcome is not None and (
         outcome.blocked
         or (
@@ -130,6 +140,7 @@ class ReplayLaneWorker:
         taps=(),
         flight_interval: float | None = None,
         spans: SpanConfig | None = None,
+        ladder: LadderConfig | None = None,
     ) -> None:
         self.lane = lane
         self.node = node
@@ -143,6 +154,14 @@ class ReplayLaneWorker:
             if batch.idle_timeout < tracker_timeout:
                 batch = replace(batch, idle_timeout=tracker_timeout)
         self._batcher = MicroBatcher(scorer_model, batch)
+        #: Response-ladder router (node facade or the shard's ladder)
+        #: when the graduated response is on for this lane.
+        self._ladder_router = None
+        if ladder is not None:
+            self._ladder_router = node.enable_ladder(ladder)
+            self._batcher.attach_ladder(
+                self._ladder_router, ladder.checkpoint_base
+            )
         self._taps = tuple(taps)
         self._handled = 0
         self._probes_loaded = 0
@@ -300,6 +319,11 @@ class ReplayLaneWorker:
             metrics=self.node.metrics_snapshot(),
             flight=self._flight.frames if self._flight is not None else [],
             spans=tracer.traces() if tracer is not None else [],
+            ladder=(
+                self._ladder_router.export_state()
+                if self._ladder_router is not None
+                else None
+            ),
         )
 
     def _observe_event_time(self, timestamp: float) -> float:

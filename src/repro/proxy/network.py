@@ -30,6 +30,10 @@ class NetworkStats:
     requests: int = 0
     rate_limited: int = 0
     policy_blocked: int = 0
+    #: Graduated response ladder enforcements (see NodeStats).
+    throttled: int = 0
+    challenged: int = 0
+    ladder_blocked: int = 0
     beacon_requests: int = 0
     origin_requests: int = 0
     cache_hits: int = 0
@@ -60,6 +64,9 @@ class NetworkStats:
         self.requests += node.requests
         self.rate_limited += node.rate_limited
         self.policy_blocked += node.policy_blocked
+        self.throttled += node.throttled
+        self.challenged += node.challenged
+        self.ladder_blocked += node.ladder_blocked
         self.beacon_requests += node.beacon_requests
         self.origin_requests += node.origin_requests
         self.cache_hits += node.cache_hits

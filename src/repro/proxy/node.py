@@ -37,8 +37,15 @@ from repro.instrument.rewriter import (
     beacon_response,
     mark_uncacheable,
 )
+from repro.captcha.challenge import challenge_redirect
 from repro.obs.registry import WALL_SECONDS_BUCKETS, MetricsRegistry
 from repro.obs.spans import NULL_SPAN, SpanTracer
+from repro.overload.ladder import (
+    LADDER_HEADER,
+    LadderConfig,
+    LadderStage,
+    ResponseLadder,
+)
 from repro.proxy.cache import ProxyCache
 from repro.proxy.ratelimit import RateLimitConfig, TokenBucketLimiter
 from repro.site.origin import OriginServer
@@ -56,6 +63,12 @@ class NodeStats:
     requests: int = 0
     rate_limited: int = 0
     policy_blocked: int = 0
+    #: Graduated response ladder enforcements (zero unless enabled):
+    #: throttle refusals (503), CAPTCHA challenges served (302), and
+    #: hard ladder blocks (403) — all before detection ran.
+    throttled: int = 0
+    challenged: int = 0
+    ladder_blocked: int = 0
     beacon_requests: int = 0
     origin_requests: int = 0
     cache_hits: int = 0
@@ -113,6 +126,9 @@ class NodeShard:
         "requests",
         "rate_limited",
         "policy_blocked",
+        "throttled",
+        "challenged",
+        "ladder_blocked",
         "beacon_requests",
         "origin_requests",
         "cache_hits",
@@ -161,6 +177,27 @@ class NodeShard:
             "repro_detection_requests_total", labels
         )
         self._tracer: SpanTracer | None = None
+        #: Graduated response ladder for this shard's IPs; None = off.
+        self.ladder: ResponseLadder | None = None
+
+    def enable_ladder(self, config: LadderConfig | None = None):
+        """Gate this shard's requests through a response ladder.
+
+        The ladder records into the shard's (deterministic-domain)
+        metrics registry and travels with the shard when the process
+        executor ships it to a child interpreter.
+        """
+        self.ladder = ResponseLadder(config)
+        self.ladder.attach_metrics(
+            self.metrics,
+            {"node": self.node_id, "shard": self.shard_label},
+        )
+        return self.ladder
+
+    def ladder_for(self, client_ip: str) -> ResponseLadder | None:
+        """The ladder owning ``client_ip`` (shards own all their IPs)."""
+        del client_ip
+        return self.ladder
 
     # -- tracing ------------------------------------------------------------
 
@@ -212,6 +249,12 @@ class NodeShard:
                 self.stats.rate_limited += 1
                 return error_response(503, "rate limited"), None
 
+        if self.ladder is not None:
+            with self._span("ladder", now):
+                stage = self.ladder.gate(request.client_ip, now)
+            if stage is not LadderStage.ALLOW:
+                return self._ladder_response(stage), None
+
         outcome = self._run_detection(request)
 
         if outcome.blocked:
@@ -251,6 +294,30 @@ class NodeShard:
         return response, outcome
 
     # -- internals ----------------------------------------------------------
+
+    def _ladder_response(self, stage: LadderStage) -> Response:
+        """Refusal/challenge for a ladder-gated request.
+
+        Mirrors the rate-limit front door: no byte accounting and no
+        detection involvement — the request never entered the pipeline.
+        The ``x-robot-ladder`` header names the stage so span flagging
+        and trace tooling can attribute the response.
+        """
+        if stage is LadderStage.BLOCK:
+            self.stats.ladder_blocked += 1
+            response = error_response(
+                403, "blocked by graduated response ladder"
+            )
+        elif stage is LadderStage.CAPTCHA:
+            self.stats.challenged += 1
+            response = challenge_redirect()
+        else:
+            self.stats.throttled += 1
+            response = error_response(
+                503, "throttled by graduated response ladder"
+            )
+        response.headers.set(LADDER_HEADER, stage.value)
+        return response
 
     def _run_detection(self, request: Request) -> RequestOutcome:
         started = time.perf_counter()
@@ -388,7 +455,31 @@ class ProxyNode:
         else:
             self.detection = DetectionService(InstrumentationRegistry())
         self.metrics = MetricsRegistry()
+        #: PartitionedLadder facade once :meth:`enable_ladder` ran.
+        self.ladder = None
         self._build_shards()
+
+    def enable_ladder(self, config: LadderConfig | None = None):
+        """Enable the graduated response ladder on every state shard.
+
+        Returns a :class:`~repro.state.stores.PartitionedLadder` facade
+        routing by client IP; the per-shard ladders live inside their
+        shards, so lane executors carry them without extra plumbing.
+        Call after any :meth:`shard_detection` re-partitioning — the
+        rebuild discards shard-local state, ladders included.
+        """
+        from repro.state.stores import PartitionedLadder
+
+        self.ladder = PartitionedLadder(
+            [shard.enable_ladder(config) for shard in self._shards]
+        )
+        return self.ladder
+
+    def ladder_for(self, client_ip: str):
+        """The shard-local ladder owning ``client_ip`` (None = off)."""
+        if self.ladder is None:
+            return None
+        return self.shard_for(client_ip).ladder
 
     def _build_shards(self) -> None:
         """(Re)derive per-shard state from the current detection layout."""

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # leaf package: the store types are imported lazily
         InstrumentationRegistry,
         RegisteredProbe,
     )
+    from repro.overload.ladder import ResponseLadder
     from repro.proxy.cache import CacheStats, ProxyCache
     from repro.proxy.ratelimit import RateLimitConfig, TokenBucketLimiter
 
@@ -302,3 +303,64 @@ class PartitionedCache:
 
     def __len__(self) -> int:
         return sum(len(p) for p in self._partitions)
+
+
+class PartitionedLadder:
+    """N response ladders routed by client IP, one per state shard.
+
+    Unlike the other facades this one wraps *existing* per-shard
+    ladders (built by ``NodeShard.enable_ladder`` so each sits next to
+    the shard's metrics registry); the facade only adds the routing
+    and the merged export.  IPs are sticky to a partition, so the
+    per-partition states are disjoint and the merge is a plain union.
+    """
+
+    def __init__(self, ladders: list["ResponseLadder"]) -> None:
+        if not ladders:
+            raise ValueError("need at least one ladder partition")
+        self._map = PartitionMap(len(ladders))
+        self._partitions = list(ladders)
+
+    @property
+    def n_partitions(self) -> int:
+        return self._map.n_partitions
+
+    @property
+    def partitions(self) -> list["ResponseLadder"]:
+        return self._partitions
+
+    def partition(self, index: int) -> "ResponseLadder":
+        return self._partitions[index]
+
+    def index_for(self, client_ip: str) -> int:
+        return self._map.index_for(client_ip)
+
+    # -- ResponseLadder API -------------------------------------------------
+
+    def ladder_for(self, client_ip: str) -> "ResponseLadder":
+        return self._partitions[self.index_for(client_ip)]
+
+    def gate(self, client_ip: str, now: float):
+        return self.ladder_for(client_ip).gate(client_ip, now)
+
+    def observe_verdict(
+        self, client_ip: str, margin: float, timestamp: float
+    ) -> None:
+        self.ladder_for(client_ip).observe_verdict(
+            client_ip, margin, timestamp
+        )
+
+    def note_captcha_result(
+        self, client_ip: str, passed: bool, timestamp: float
+    ) -> None:
+        self.ladder_for(client_ip).note_captcha_result(
+            client_ip, passed, timestamp
+        )
+
+    def export_state(self) -> dict:
+        """Union of the per-partition exports (layout-independent)."""
+        from repro.overload.ladder import merge_ladder_states
+
+        return merge_ladder_states(
+            p.export_state() for p in self._partitions
+        )

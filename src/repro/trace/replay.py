@@ -47,6 +47,8 @@ from repro.workload.results import SessionCensus, apply_session_identities
 if TYPE_CHECKING:  # imported lazily at run time (package-cycle-free)
     from repro.ingress.batcher import MicroBatchConfig
     from repro.ml.adaboost import AdaBoostModel
+    from repro.overload.admission import AdaptiveConfig, OverloadReport
+    from repro.overload.ladder import LadderConfig
 
 TraceSource = Union[str, Iterable[TraceRecord]]
 ProbeSource = Union[str, Iterable[ProbeRecord]]
@@ -88,6 +90,15 @@ class ReplayConfig:
     executor: str | None = None
     queue_depth: int | None = None
     shed: bool = False
+    #: Delay-budget admission (``ShedPolicy.ADAPTIVE``): shed at the
+    #: front door when the lane's predicted queue delay exceeds the
+    #: budget, with hysteresis and per-IP fairness.  Mutually exclusive
+    #: with ``shed`` (which is the binary full-queue policy).
+    adaptive: "AdaptiveConfig | None" = None
+    #: Graduated response ladder (throttle -> CAPTCHA -> block) driven
+    #: live from micro-batch checkpoint verdicts; needs
+    #: ``scorer_model`` and a pipelined executor.
+    ladder: "LadderConfig | None" = None
     #: Lane granularity for the pipelined path: 1 = one lane per node;
     #: the node's detection shard count = one lane per
     #: :class:`~repro.proxy.node.NodeShard`, so process lanes scale
@@ -131,6 +142,32 @@ class ReplayConfig:
             )
         if self.shed and self.executor is None:
             raise ValueError("shed requires a pipelined executor")
+        if self.shed and self.queue_depth is None:
+            raise ValueError(
+                "shed with queue_depth=None can never shed (an "
+                "unbounded queue never refuses): set a queue_depth"
+            )
+        if self.adaptive is not None:
+            if self.shed:
+                raise ValueError(
+                    "shed and adaptive are mutually exclusive shedding "
+                    "policies"
+                )
+            if self.executor not in ("thread", "process"):
+                raise ValueError(
+                    "adaptive admission needs a queued executor "
+                    "(thread or process)"
+                )
+        if self.ladder is not None:
+            if self.executor is None:
+                raise ValueError(
+                    "ladder requires a pipelined executor"
+                )
+            if self.scorer_model is None:
+                raise ValueError(
+                    "ladder requires scorer_model (checkpoint verdicts "
+                    "drive the escalation)"
+                )
         if self.lanes_per_node < 1:
             raise ValueError("lanes_per_node must be >= 1")
         if self.lanes_per_node > 1 and self.executor is None:
@@ -165,6 +202,11 @@ class ReplayResult(SessionCensus):
     #: Tail-sampled span trees, merged in (lane, seq) order (empty
     #: unless ``spans`` was configured).
     spans: list[SpanTree] = field(default_factory=list)
+    #: Network-wide graduated-response ladder state (None unless the
+    #: ladder was enabled).
+    ladder: dict | None = None
+    #: Adaptive admission ledger (None unless ``adaptive`` was set).
+    overload: "OverloadReport | None" = None
 
     @property
     def span(self) -> float:
@@ -434,16 +476,24 @@ class TraceReplayEngine:
                 )
             )
 
+        if cfg.adaptive is not None:
+            policy = ShedPolicy.ADAPTIVE
+        elif cfg.shed:
+            policy = ShedPolicy.SHED
+        else:
+            policy = ShedPolicy.BLOCK
         ingress_config = IngressConfig(
             executor=cfg.executor or "serial",
             queue_depth=cfg.queue_depth,
-            policy=ShedPolicy.SHED if cfg.shed else ShedPolicy.BLOCK,
+            policy=policy,
             housekeeping_interval=cfg.housekeeping_interval,
             lanes_per_node=cfg.lanes_per_node,
             batch=cfg.batch or MicroBatchConfig(),
             scorer_model=cfg.scorer_model,
             flight_interval=cfg.flight_interval,
             spans=cfg.spans,
+            adaptive=cfg.adaptive,
+            ladder=cfg.ladder,
         )
         pipeline = IngressPipeline(
             self._network,
@@ -484,6 +534,8 @@ class TraceReplayEngine:
             metrics=ingress.metrics,
             flight=ingress.flight,
             spans=ingress.spans,
+            ladder=ingress.ladder,
+            overload=ingress.overload,
         )
 
     # -- stream plumbing ----------------------------------------------------

@@ -87,6 +87,12 @@ class WorkloadConfig:
     shard_workers: int | None = None
     executor: str = "serial"
     queue_depth: int | None = None
+    #: Pipelined mode only: shed (and count) whole sessions instead of
+    #: blocking when a lane queue is full.  Needs a bounded queue.
+    shed: bool = False
+    #: Pipelined mode only: delay-budget admission with per-IP fairness
+    #: (``ShedPolicy.ADAPTIVE``); an :class:`AdaptiveConfig` or None.
+    adaptive: object | None = None
     #: Pipelined lane granularity: 1 = one lane per node; the detection
     #: shard count = one lane per :class:`~repro.proxy.node.NodeShard`.
     lanes_per_node: int = 1
@@ -138,6 +144,29 @@ class WorkloadConfig:
             )
         if self.spans is not None and self.mode != "pipelined":
             raise ValueError("span tracing requires mode='pipelined'")
+        if self.shed or self.adaptive is not None:
+            if self.mode != "pipelined":
+                raise ValueError(
+                    "load shedding requires mode='pipelined'"
+                )
+            if self.shed and self.adaptive is not None:
+                raise ValueError(
+                    "shed and adaptive are mutually exclusive shedding "
+                    "policies"
+                )
+        if self.shed and self.queue_depth is None:
+            raise ValueError(
+                "shed with queue_depth=None can never shed (an "
+                "unbounded queue never refuses): set a queue_depth"
+            )
+        if self.adaptive is not None and self.executor not in (
+            "thread",
+            "process",
+        ):
+            raise ValueError(
+                "adaptive admission needs a queued executor "
+                "(thread or process)"
+            )
 
 
 class WorkloadEngine:
@@ -331,6 +360,7 @@ class WorkloadEngine:
         # Deferred import: the ingress package reaches back into
         # workload machinery (session records, the scheduler).
         from repro.ingress.pipeline import IngressConfig, IngressPipeline
+        from repro.ingress.queues import ShedPolicy
         from repro.ingress.workers import SESSION_EVENT, WorkloadLaneWorker
 
         cfg = self._config
@@ -361,6 +391,14 @@ class WorkloadEngine:
             IngressConfig(
                 executor=cfg.executor,
                 queue_depth=cfg.queue_depth,
+                policy=(
+                    ShedPolicy.ADAPTIVE
+                    if cfg.adaptive is not None
+                    else (
+                        ShedPolicy.SHED if cfg.shed else ShedPolicy.BLOCK
+                    )
+                ),
+                adaptive=cfg.adaptive,
                 housekeeping_interval=cfg.housekeeping_interval,
                 lanes_per_node=cfg.lanes_per_node,
                 flight_interval=cfg.flight_interval,
@@ -408,6 +446,7 @@ class WorkloadEngine:
             metrics=ingress.metrics,
             flight=ingress.flight,
             spans=ingress.spans,
+            overload=ingress.overload,
         )
 
     def _run_interleaved(

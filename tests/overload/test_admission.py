@@ -1,0 +1,236 @@
+"""Unit tests for delay-budget admission and per-IP fairness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.overload.admission import (
+    AdaptiveConfig,
+    DelayBudgetController,
+    FairnessTracker,
+)
+
+FLOODER = "10.9.9.9"
+LEGIT = "10.0.0.1"
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delay_budget": 0.0},
+            {"delay_budget": -1.0},
+            {"resume_ratio": 0.0},
+            {"resume_ratio": 1.0},
+            {"fairness_half_life": 0.0},
+            {"fairness_boost": 0.5},
+            {"ramp_requests": 0},
+            {"duty_cycle": 1},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        AdaptiveConfig()
+
+
+class TestFairnessTracker:
+    def test_shares_are_admitted_fractions(self):
+        tracker = FairnessTracker(half_life=5.0)
+        tracker.note(FLOODER, 0.0)
+        tracker.note(FLOODER, 0.0)
+        tracker.note(LEGIT, 0.0)
+        assert tracker.share(FLOODER, 0.0) == pytest.approx(2 / 3)
+        assert tracker.share(LEGIT, 0.0) == pytest.approx(1 / 3)
+        assert tracker.fair_share() == pytest.approx(0.5)
+        assert tracker.population == 2
+
+    def test_empty_tracker_shares_nothing(self):
+        tracker = FairnessTracker(half_life=5.0)
+        assert tracker.share(LEGIT, 0.0) == 0.0
+        assert tracker.fair_share() == 1.0
+
+    def test_old_traffic_decays_out_of_the_share(self):
+        tracker = FairnessTracker(half_life=5.0)
+        for _ in range(100):
+            tracker.note(FLOODER, 0.0)
+        tracker.note(LEGIT, 50.0)  # ten half-lives later
+        assert tracker.share(LEGIT, 50.0) > 0.9
+        assert tracker.share(FLOODER, 50.0) < 0.1
+
+    def test_renormalization_preserves_shares(self):
+        # Half-life of 1ms: 1 second of elapsed time is 1000 doublings,
+        # far past the renormalisation scale.
+        tracker = FairnessTracker(half_life=0.001)
+        tracker.note(FLOODER, 0.0)
+        tracker.note(LEGIT, 1.0)
+        tracker.note(LEGIT, 1.0)
+        # The flooder's stale weight fell below the prune cutoff.
+        assert tracker.share(LEGIT, 1.0) == pytest.approx(1.0)
+        assert tracker.population == 1
+
+
+def _controller(lanes=1, metrics=None, **overrides):
+    kwargs = {
+        "delay_budget": 1.0,
+        "resume_ratio": 0.5,
+        "fairness_half_life": 5.0,
+        "fairness_boost": 2.0,
+        "ramp_requests": 4,
+        "duty_cycle": 2,
+        **overrides,
+    }
+    return DelayBudgetController(
+        AdaptiveConfig(**kwargs), lanes, metrics=metrics
+    )
+
+
+class TestHysteresis:
+    def test_admits_under_budget(self):
+        controller = _controller()
+        assert controller.admit(0, LEGIT, 0.5, now=0.0)
+        report = controller.report()
+        assert report.admitted == 1 and report.shed == 0
+
+    def test_enters_above_budget_exits_below_resume(self):
+        controller = _controller()
+        controller.admit(0, LEGIT, 1.5, now=0.0)  # enter
+        assert controller.report().lanes[0].entered == 1
+        # Between resume (0.5) and budget (1.0): still shedding — no
+        # flapping around the threshold.
+        controller.admit(0, LEGIT, 0.8, now=0.1)
+        assert controller.report().lanes[0].exited == 0
+        controller.admit(0, LEGIT, 0.4, now=0.2)  # exit
+        lane = controller.report().lanes[0]
+        assert lane.exited == 1
+
+    def test_budget_itself_does_not_trigger(self):
+        controller = _controller()
+        assert controller.admit(0, LEGIT, 1.0, now=0.0)
+        assert controller.report().lanes[0].entered == 0
+
+    def test_lanes_are_independent(self):
+        controller = _controller(lanes=2)
+        controller.admit(0, LEGIT, 5.0, now=0.0)
+        assert controller.admit(1, LEGIT, 0.0, now=0.0)
+        lanes = controller.report().lanes
+        assert lanes[0].entered == 1 and lanes[1].entered == 0
+
+
+class TestFairnessShedding:
+    def test_over_share_ip_sheds_first(self):
+        controller = _controller()
+        for _ in range(90):
+            controller.admit(0, FLOODER, 0.0, now=0.0)
+        for _ in range(10):
+            controller.admit(0, LEGIT, 0.0, now=0.0)
+        # Overload: the flooder holds 90% of the admitted share, the
+        # fair share is 50% — it absorbs the drops while the
+        # legitimate client keeps being admitted.
+        assert not controller.admit(0, FLOODER, 2.0, now=0.0)
+        assert controller.admit(0, LEGIT, 2.0, now=0.0)
+        report = controller.report()
+        assert report.reasons == {"fairness": 1}
+        assert report.shed_fraction(FLOODER) > 0
+        assert report.shed_fraction(LEGIT) == 0.0
+
+    def test_multiple_tightens_as_pressure_ramps(self):
+        # At episode start the multiple is boost * fair_share; a client
+        # just over fair share only starts shedding once the episode
+        # persists.
+        controller = _controller(fairness_boost=2.0, ramp_requests=4)
+        for _ in range(60):
+            controller.admit(0, FLOODER, 0.0, now=0.0)
+        for _ in range(40):
+            controller.admit(0, LEGIT, 0.0, now=0.0)
+        # share(FLOODER)=0.6, fair=0.5: under the boosted multiple at
+        # first evaluation (0.5 * 1.75 = 0.875), over it at pressure 1.
+        assert controller.admit(0, FLOODER, 2.0, now=0.0)
+        for _ in range(3):
+            controller.admit(0, LEGIT, 2.0, now=0.0)
+        assert not controller.admit(0, FLOODER, 2.0, now=0.0)
+        assert controller.report().reasons["fairness"] == 1
+
+
+class TestDutyCycle:
+    def test_saturated_pressure_admits_one_in_n(self):
+        controller = _controller(ramp_requests=4, duty_cycle=2)
+        decisions = [
+            controller.admit(0, LEGIT, 2.0, now=0.0) for _ in range(12)
+        ]
+        # A single client is never over its own fair share, so only the
+        # duty-cycle backstop sheds: nothing while the pressure ramps,
+        # every other request once it saturates (on the 4th request).
+        assert decisions[:3] == [True] * 3
+        assert decisions[3:] == [False, True] * 4 + [False]
+        assert controller.report().reasons == {"delay_budget": 5}
+
+    def test_backstop_stands_down_under_budget(self):
+        controller = _controller(ramp_requests=2, duty_cycle=2)
+        for _ in range(4):
+            controller.admit(0, LEGIT, 2.0, now=0.0)
+        # Still shedding (hysteresis) but the prediction is back under
+        # budget: the duty cycle no longer applies.
+        assert controller.admit(0, LEGIT, 0.8, now=0.0)
+
+
+class TestAccounting:
+    def test_lane_shed_counts_match_report(self):
+        controller = _controller(lanes=2, ramp_requests=1)
+        for _ in range(6):
+            controller.admit(0, LEGIT, 2.0, now=0.0)
+        assert controller.admit(1, LEGIT, 0.0, now=0.0)
+        report = controller.report()
+        assert controller.lane_shed_counts() == [
+            report.lanes[0].shed,
+            report.lanes[1].shed,
+        ]
+        assert report.admitted + report.shed == 7
+        by_ip = report.admitted_by_ip.get(LEGIT, 0) + report.shed_by_ip.get(
+            LEGIT, 0
+        )
+        assert by_ip == 7
+
+    def test_peak_pressure_is_reported(self):
+        controller = _controller(ramp_requests=4)
+        for _ in range(2):
+            controller.admit(0, LEGIT, 2.0, now=0.0)
+        assert controller.report().lanes[0].peak_pressure == pytest.approx(
+            0.5
+        )
+
+    def test_shed_fraction_of_unseen_ip_is_zero(self):
+        assert _controller().report().shed_fraction("10.255.0.1") == 0.0
+
+    def test_wall_metrics_record_reasons_and_phases(self):
+        registry = MetricsRegistry()
+        controller = _controller(metrics=registry, ramp_requests=1)
+        for _ in range(4):
+            controller.admit(0, LEGIT, 2.0, now=0.0)
+        controller.admit(0, LEGIT, 0.1, now=0.0)
+        snap = registry.snapshot()
+        assert snap.get(
+            "repro_ingress_shed_reason_total",
+            {"lane": "0", "reason": "delay_budget"},
+        ).value > 0
+        assert snap.get(
+            "repro_ingress_adaptive_transitions_total",
+            {"lane": "0", "phase": "enter"},
+        ).value == 1
+        assert snap.get(
+            "repro_ingress_adaptive_transitions_total",
+            {"lane": "0", "phase": "exit"},
+        ).value == 1
+        assert snap.get(
+            "repro_ingress_adaptive_shedding", {"lane": "0"}
+        ).value == 0.0
+        # Nondeterministic wall-clock domain, never the deterministic
+        # snapshot.
+        assert not [
+            p
+            for p in snap.deterministic().points
+            if p.name.startswith("repro_ingress_adaptive")
+        ]
