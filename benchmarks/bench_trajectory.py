@@ -44,7 +44,7 @@ from test_bench_ingress import (  # noqa: E402
     _suite_trace,
 )
 
-PR_NUMBER = 9
+PR_NUMBER = 10
 
 
 def _cores() -> int:
@@ -143,6 +143,53 @@ def _overload_probe(
     }
 
 
+def _serve_probe(sessions: int = 40, seed: int = 7) -> dict:
+    """Measure the PR-10 front door: requests/sec through a live
+    localhost ``DetectorServer`` driven by the agent swarm over real
+    sockets (keep-alive HTTP/1.1, full pipeline per request)."""
+    import asyncio
+
+    from repro.http.uri import Url
+    from repro.serve.server import DetectorServer, ServeConfig
+    from repro.serve.swarm import SwarmConfig, run_swarm
+    from repro.util.rng import RngStream
+    from repro.workload.codeen import CodeenWeekConfig, CodeenWeekExperiment
+
+    async def drive():
+        experiment = CodeenWeekExperiment(
+            CodeenWeekConfig(n_sessions=sessions, n_nodes=2, seed=seed)
+        )
+        network, entry_url = experiment.build_network(
+            RngStream(seed, "serve")
+        )
+        server = DetectorServer(
+            network,
+            default_host=Url.parse(entry_url).host,
+            config=ServeConfig(),
+        )
+        await server.start()
+        started = time.perf_counter()
+        result = await run_swarm(
+            SwarmConfig(
+                port=server.port, sessions=sessions, seed=seed,
+                concurrency=16,
+            ),
+            entry_url,
+        )
+        elapsed = time.perf_counter() - started
+        await server.close()
+        return result, elapsed
+
+    result, elapsed = asyncio.run(drive())
+    return {
+        "sessions": sessions,
+        "requests": result.requests,
+        "transport_errors": result.errors,
+        "elapsed_seconds": round(elapsed, 3),
+        "served_requests_per_sec": round(result.requests / elapsed, 1),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -210,6 +257,9 @@ def main(argv: list[str] | None = None) -> int:
         # keeps the p99 prediction near the budget, binary SHED at the
         # same depth saturates.
         "overload": _overload_probe(),
+        # The PR-10 live front door: the same pipeline served over
+        # real sockets to the agent swarm.
+        "serve": _serve_probe(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

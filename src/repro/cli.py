@@ -9,8 +9,10 @@ Two command families share the entry point:
   trace (plus probe journal), ``replay`` streams a trace — recorded or
   real — through the detection pipeline, ``stats`` renders a metrics
   snapshot (``--metrics-out``) as a table, Prometheus text, or
-  canonical JSON, and ``profile`` prints per-stage critical-path
-  attribution from a span trace (``--trace-out``).
+  canonical JSON, ``profile`` prints per-stage critical-path
+  attribution from a span trace (``--trace-out``), and ``serve``
+  mounts the pipeline behind a live asyncio HTTP/1.1 socket with
+  live CLF logging (``--swarm N`` drives agent sessions at it).
 
 Examples::
 
@@ -25,6 +27,8 @@ Examples::
         --trace-out spans.json
     python -m repro stats metrics.json --format prometheus
     python -m repro profile spans.json --limit 10
+    python -m repro serve --swarm 100 --trace live.log.gz \
+        --probes live.keys.gz
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ from repro.experiments.registry import EXPERIMENTS
 _WORKLOAD_EXPERIMENTS = ("table1", "figure2", "figure3", "overhead")
 _ML_EXPERIMENTS = ("table2", "figure4")
 
-_TRACE_COMMANDS = ("record", "replay", "stats", "profile")
+_TRACE_COMMANDS = ("record", "replay", "stats", "profile", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -734,6 +738,165 @@ def run_profile(argv: list[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Mount the detection pipeline behind a live asyncio "
+            "HTTP/1.1 socket: a generated site, sharded detection and "
+            "the CAPTCHA funnel, with live CLF logging.  --swarm N "
+            "drives N agent sessions from a population mix against the "
+            "server and exits; without it the server runs until "
+            "interrupted."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default 0: bind an ephemeral port)",
+    )
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument(
+        "--mix", default="codeen_week",
+        help="population mix for --swarm (default codeen_week)",
+    )
+    parser.add_argument(
+        "--swarm", type=int, default=0,
+        help="drive N agent sessions against the server, then exit "
+             "(default 0: serve until interrupted)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=16,
+        help="concurrent swarm sessions (default 16)",
+    )
+    parser.add_argument(
+        "--trace", default=None,
+        help="live CLF access log to write (.gz compresses)",
+    )
+    parser.add_argument(
+        "--probes", default=None,
+        help="probe journal to write at shutdown (.gz compresses)",
+    )
+    parser.add_argument(
+        "--shed", choices=("block", "shed", "adaptive"), default="block",
+        help="admission policy at the front door (default block: "
+             "queue on the node lane)",
+    )
+    parser.add_argument(
+        "--delay-budget", type=float, default=0.05,
+        help="adaptive admission: per-lane queue-delay budget in wall "
+             "seconds (default 0.05)",
+    )
+    parser.add_argument(
+        "--keep-alive-timeout", type=float, default=15.0,
+        help="idle seconds before a keep-alive connection drops",
+    )
+    return parser
+
+
+def run_serve(argv: list[str]) -> int:
+    """Execute ``repro serve``."""
+    import asyncio
+
+    from repro.http.uri import Url
+    from repro.serve.server import DetectorServer, ServeConfig
+    from repro.serve.swarm import SwarmConfig, run_swarm
+    from repro.util.rng import RngStream
+    from repro.workload.codeen import CodeenWeekConfig, CodeenWeekExperiment
+    from repro.workload.mixes import mix_by_name
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        mix_by_name(args.mix)
+        adaptive = None
+        if args.shed == "adaptive":
+            from repro.overload.admission import AdaptiveConfig
+
+            adaptive = AdaptiveConfig(delay_budget=args.delay_budget)
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            keep_alive_timeout=args.keep_alive_timeout,
+            trace_path=args.trace,
+            probes_path=args.probes,
+            policy=args.shed,
+            adaptive=adaptive,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro serve: {message}", file=sys.stderr)
+        return 2
+
+    experiment = CodeenWeekExperiment(
+        CodeenWeekConfig(
+            n_sessions=max(args.swarm, 1), n_nodes=args.nodes,
+            seed=args.seed,
+        )
+    )
+    network, entry_url = experiment.build_network(
+        RngStream(args.seed, "serve")
+    )
+    default_host = Url.parse(entry_url).host
+
+    async def serve() -> int:
+        server = DetectorServer(
+            network, default_host=default_host, config=config
+        )
+        await server.start()
+        print(f"serving {entry_url} on {server.address}")
+        if not args.swarm:
+            try:
+                await server.serve_forever()
+            finally:
+                await server.close()
+            return 0
+        result = await run_swarm(
+            SwarmConfig(
+                host=args.host,
+                port=server.port,
+                sessions=args.swarm,
+                mix_name=args.mix,
+                seed=args.seed,
+                concurrency=args.concurrency,
+            ),
+            entry_url,
+        )
+        server.annotate_ground_truth(result.identities())
+        await server.close()
+        print(
+            f"swarm: {result.requests} requests over "
+            f"{len(result.reports)} sessions "
+            f"({result.errors} transport errors)"
+        )
+        if args.trace:
+            print(f"wrote {len(server.records)} requests -> {args.trace}")
+        if args.probes:
+            print(
+                f"wrote {len(server.probes)} probe registrations -> "
+                f"{args.probes}"
+            )
+        sessions = server.finalize_sessions()
+        census: dict[str, int] = {}
+        for state in sessions:
+            census[state.agent_kind] = census.get(state.agent_kind, 0) + 1
+        print(f"analyzable sessions: {len(sessions)}")
+        for kind, count in sorted(census.items()):
+            print(f"  {kind:20s} {count}")
+        if server.shed_count:
+            print(f"admission: {server.shed_count} request(s) shed")
+        if server.parse_errors:
+            print(f"malformed requests refused: {server.parse_errors}")
+        return 0
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+        return 130
+
+
 def _experiment_workload(result):
     """The WorkloadResult an experiment result wraps, if it keeps one."""
     workload = getattr(result, "workload", None)
@@ -751,6 +914,7 @@ def main(argv: list[str] | None = None) -> int:
             "replay": run_replay,
             "stats": run_stats,
             "profile": run_profile,
+            "serve": run_serve,
         }[argv[0]]
         return runner(argv[1:])
 

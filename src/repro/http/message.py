@@ -8,6 +8,7 @@ bandwidth accounting (the §3.2 overhead numbers).
 
 from __future__ import annotations
 
+import html
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -136,9 +137,14 @@ def html_response(body: str, *, status: int = 200, uncacheable: bool = False) ->
 
 
 def error_response(status: int, message: str | None = None) -> Response:
-    """An error response with a small HTML body."""
-    text = message or describe_status(status)
-    body = f"<html><body><h1>{describe_status(status)}</h1><p>{text}</p></body></html>"
+    """An error response with a small HTML body.
+
+    ``message`` may carry request-derived text (URLs, header values), so both
+    interpolations are entity-encoded before they reach an HTML body.
+    """
+    text = html.escape(message or describe_status(status))
+    heading = html.escape(describe_status(status))
+    body = f"<html><body><h1>{heading}</h1><p>{text}</p></body></html>"
     return Response(
         status=status,
         headers=Headers([("Content-Type", "text/html")]),

@@ -24,11 +24,15 @@ _REASONS: dict[int, str] = {
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",
+    413: "Content Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    501: "Not Implemented",
     502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
+    505: "HTTP Version Not Supported",
 }
 
 

@@ -21,6 +21,11 @@ _URL_RE = re.compile(
     r"(?:#(?P<fragment>.*))?$"
 )
 
+# A reference is absolute only when it *starts* with "scheme://".  A bare
+# substring test would also fire on relative references whose query embeds
+# an absolute URL ("/redirect?to=http://evil.example/").
+_SCHEME_PREFIX_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*://")
+
 
 @dataclass(frozen=True)
 class Url:
@@ -39,6 +44,8 @@ class Url:
             raise ValueError("host must be non-empty")
         if not self.path.startswith("/"):
             raise ValueError(f"path must start with '/', got {self.path!r}")
+        if self.port is not None and not 1 <= self.port <= 65535:
+            raise ValueError(f"port out of range 1..65535: {self.port}")
 
     @classmethod
     def parse(cls, text: str) -> "Url":
@@ -121,7 +128,7 @@ def resolve_url(base: Url, reference: str) -> Url:
     reference = reference.split("#", 1)[0]
     if not reference:
         return base
-    if "://" in reference:
+    if _SCHEME_PREFIX_RE.match(reference):
         return Url.parse(reference)
     if reference.startswith("//"):
         return Url.parse(f"{base.scheme}:{reference}")

@@ -1,0 +1,345 @@
+"""Byte-level HTTP/1.1 framing for the live front door.
+
+The bridge between raw sockets and the repo's message models: a
+streaming request parser that produces :class:`~repro.http.message.Method`
+/ :class:`~repro.http.uri.Url` / :class:`~repro.http.headers.Headers`
+values, and a response writer that renders a
+:class:`~repro.http.message.Response` back to wire bytes.
+
+Real clients send bytes the simulated path never does, so every
+malformed input maps to a definite status instead of a traceback:
+
+* ``400`` — malformed request line, header or target, truncated body;
+* ``413`` — declared body larger than the limit;
+* ``431`` — request line or header block over the byte limits;
+* ``501`` — a method outside the paper's feature set (GET/HEAD/POST),
+  or a transfer coding this server does not implement;
+* ``505`` — an HTTP version other than 1.0/1.1.
+
+Both request-target forms are accepted: absolute-form
+(``GET http://host/x HTTP/1.1``, the proxy idiom CoDeeN clients used)
+and origin-form (``GET /x``) resolved against the ``Host`` header or a
+configured default host.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.http.headers import Headers
+from repro.http.message import Method, Response
+from repro.http.status import describe_status
+from repro.http.uri import Url
+
+#: HTTP versions this server speaks.
+_SUPPORTED_VERSIONS = ("HTTP/1.0", "HTTP/1.1")
+
+#: Hop-by-hop headers that describe the connection, not the message;
+#: never copied into the pipeline-facing request or the wire response.
+_HOP_BY_HOP = frozenset(
+    (
+        "connection",
+        "keep-alive",
+        "proxy-connection",
+        "te",
+        "transfer-encoding",
+        "upgrade",
+    )
+)
+
+#: Stripped from the pipeline-facing request view: hop-by-hop fields
+#: plus message-framing metadata already folded into the parsed target
+#: and body.  The pipeline then sees the same header set a replayed
+#: trace record rebuilds (they survive in ``raw_headers``).
+_FRAMING_HEADERS = _HOP_BY_HOP | frozenset(("host", "content-length"))
+
+
+class HttpParseError(ValueError):
+    """A request could not be framed; ``status`` is the refusal code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Http11Limits:
+    """Byte budgets for one parsed request."""
+
+    max_request_line: int = 8192
+    max_header_bytes: int = 32768
+    max_headers: int = 100
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_request_line",
+            "max_header_bytes",
+            "max_headers",
+            "max_body_bytes",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+@dataclass
+class ParsedRequest:
+    """One framed request, ready to become a pipeline ``Request``."""
+
+    method: Method
+    url: Url
+    headers: Headers
+    version: str
+    keep_alive: bool
+    body: bytes = b""
+    #: Wall seconds spent framing after the request line arrived
+    #: (excludes keep-alive idle time between requests).
+    parse_seconds: float = 0.0
+    #: Raw header entries including hop-by-hop fields, for callers that
+    #: need connection semantics (the pipeline view in ``headers`` has
+    #: them stripped).
+    raw_headers: Headers = field(default_factory=Headers)
+
+
+async def _read_line(
+    reader: asyncio.StreamReader, max_bytes: int, status: int, what: str
+) -> str | None:
+    """One CRLF/LF-terminated line, or None on clean EOF."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpParseError(
+            400, f"connection closed mid-{what}"
+        ) from None
+    except asyncio.LimitOverrunError:
+        raise HttpParseError(status, f"{what} too long") from None
+    if len(line) > max_bytes:
+        raise HttpParseError(status, f"{what} too long")
+    return line.decode("latin-1").rstrip("\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    default_host: str | None = None,
+    limits: Http11Limits | None = None,
+) -> ParsedRequest | None:
+    """Frame one request off the stream.
+
+    Returns ``None`` on clean EOF before any bytes (the peer closed a
+    keep-alive connection); raises :class:`HttpParseError` on anything
+    malformed.  The returned ``headers`` are the pipeline view (hop-by-
+    hop fields stripped); connection semantics are already folded into
+    ``keep_alive``.
+    """
+    limits = limits or Http11Limits()
+    line = await _read_line(
+        reader, limits.max_request_line, 431, "request line"
+    )
+    if line is None:
+        return None
+    # Tolerate a stray CRLF between pipelined requests (RFC 9112 §2.2).
+    if not line:
+        line = await _read_line(
+            reader, limits.max_request_line, 431, "request line"
+        )
+        if line is None:
+            return None
+    started = time.perf_counter()
+
+    parts = line.split(" ")
+    if len(parts) != 3 or not parts[0] or not parts[1]:
+        raise HttpParseError(400, f"malformed request line: {line[:120]}")
+    method_text, target, version = parts
+    if version not in _SUPPORTED_VERSIONS:
+        raise HttpParseError(505, f"unsupported HTTP version: {version}")
+    try:
+        method = Method(method_text.upper())
+    except ValueError:
+        raise HttpParseError(
+            501, f"method not implemented: {method_text[:32]}"
+        ) from None
+
+    raw_headers = Headers()
+    header_bytes = 0
+    while True:
+        header_line = await _read_line(
+            reader, limits.max_header_bytes, 431, "header line"
+        )
+        if header_line is None:
+            raise HttpParseError(400, "connection closed inside headers")
+        if not header_line:
+            break
+        header_bytes += len(header_line) + 2
+        if header_bytes > limits.max_header_bytes:
+            raise HttpParseError(431, "header block too large")
+        if len(raw_headers) >= limits.max_headers:
+            raise HttpParseError(431, "too many header fields")
+        if header_line[0] in " \t":
+            # Obsolete line folding: deliberately refused (RFC 9112 §5.2).
+            raise HttpParseError(400, "folded header field")
+        name, sep, value = header_line.partition(":")
+        name = name.strip()
+        if not sep or not name:
+            raise HttpParseError(
+                400, f"malformed header field: {header_line[:120]}"
+            )
+        raw_headers.add(name, value.strip())
+
+    url = _resolve_target(target, raw_headers, default_host)
+    body = await _read_body(reader, raw_headers, limits)
+    keep_alive = _keep_alive(version, raw_headers)
+
+    headers = Headers(
+        (name, value)
+        for name, value in raw_headers
+        if name.lower() not in _FRAMING_HEADERS
+    )
+    return ParsedRequest(
+        method=method,
+        url=url,
+        headers=headers,
+        version=version,
+        keep_alive=keep_alive,
+        body=body,
+        parse_seconds=time.perf_counter() - started,
+        raw_headers=raw_headers,
+    )
+
+
+def _resolve_target(
+    target: str, headers: Headers, default_host: str | None
+) -> Url:
+    if target.startswith("/"):
+        host = headers.get("Host") or default_host
+        if not host:
+            raise HttpParseError(
+                400, "origin-form target needs a Host header"
+            )
+        target = f"http://{host}{target}"
+    try:
+        return Url.parse(target)
+    except ValueError as exc:
+        raise HttpParseError(400, f"bad request target: {exc}") from None
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: Headers, limits: Http11Limits
+) -> bytes:
+    if "Transfer-Encoding" in headers:
+        raise HttpParseError(
+            501, "transfer codings are not implemented"
+        )
+    declared = headers.get("Content-Length")
+    if declared is None:
+        return b""
+    try:
+        length = int(declared)
+    except ValueError:
+        raise HttpParseError(
+            400, f"bad Content-Length: {declared[:32]}"
+        ) from None
+    if length < 0:
+        raise HttpParseError(400, "negative Content-Length")
+    if length > limits.max_body_bytes:
+        raise HttpParseError(413, "request body too large")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise HttpParseError(400, "truncated request body") from None
+
+
+def _keep_alive(version: str, headers: Headers) -> bool:
+    tokens = {
+        token.strip().lower()
+        for value in headers.get_all("Connection")
+        for token in value.split(",")
+    }
+    if version == "HTTP/1.0":
+        return "keep-alive" in tokens
+    return "close" not in tokens
+
+
+def render_response(
+    response: Response,
+    head: bool = False,
+    keep_alive: bool = True,
+) -> bytes:
+    """Render a pipeline :class:`Response` as HTTP/1.1 wire bytes.
+
+    Always emits an explicit ``Content-Length`` (the body length even
+    for HEAD, per RFC 9110 §9.3.2) and a ``Connection`` header, so the
+    peer never needs read-until-close framing.
+    """
+    lines = [f"HTTP/1.1 {describe_status(response.status)}"]
+    for name, value in response.headers:
+        if name.lower() in _HOP_BY_HOP or name.lower() == "content-length":
+            continue
+        lines.append(f"{name}: {value}")
+    lines.append(f"Content-Length: {len(response.body)}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    wire = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    if not head:
+        wire += response.body
+    return wire
+
+
+async def read_response(
+    reader: asyncio.StreamReader, head: bool = False
+) -> tuple[int, Headers, bytes, bool]:
+    """Client-side framing: one response off the stream.
+
+    Returns ``(status, headers, body, keep_alive)``.  Relies on the
+    explicit ``Content-Length`` this server always writes; with
+    ``head`` the declared length is not read (HEAD responses carry
+    none).  Raises :class:`HttpParseError` on malformed bytes and
+    ``ConnectionError``/``asyncio.IncompleteReadError`` on early close.
+    """
+    line = await _read_line(reader, 8192, 431, "status line")
+    if line is None:
+        raise ConnectionResetError("connection closed before status line")
+    parts = line.split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise HttpParseError(400, f"malformed status line: {line[:120]}")
+    version, status_text = parts[0], parts[1]
+    if version not in _SUPPORTED_VERSIONS:
+        raise HttpParseError(505, f"unsupported HTTP version: {version}")
+    status = int(status_text)
+
+    headers = Headers()
+    while True:
+        header_line = await _read_line(reader, 32768, 431, "header line")
+        if header_line is None:
+            raise HttpParseError(400, "connection closed inside headers")
+        if not header_line:
+            break
+        name, sep, value = header_line.partition(":")
+        if not sep or not name.strip():
+            raise HttpParseError(
+                400, f"malformed header field: {header_line[:120]}"
+            )
+        headers.add(name.strip(), value.strip())
+
+    body = b""
+    declared = headers.get("Content-Length")
+    if declared is not None and not head:
+        try:
+            length = int(declared)
+        except ValueError:
+            raise HttpParseError(
+                400, f"bad Content-Length: {declared[:32]}"
+            ) from None
+        if length:
+            body = await reader.readexactly(length)
+    elif declared is None and not head:
+        body = await reader.read()
+
+    connection = (headers.get("Connection") or "").lower()
+    keep_alive = "close" not in connection
+    return status, headers, body, keep_alive

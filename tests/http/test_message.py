@@ -89,3 +89,14 @@ class TestConstructors:
         resp = error_response(404)
         assert resp.status == 404
         assert b"Not Found" in resp.body
+
+    def test_error_response_escapes_message(self):
+        # The message may echo request-derived text; a live server must
+        # never reflect it as markup.
+        resp = error_response(400, "bad url <script>alert(1)</script>")
+        assert b"<script>" not in resp.body
+        assert b"&lt;script&gt;alert(1)&lt;/script&gt;" in resp.body
+
+    def test_error_response_escapes_ampersand(self):
+        resp = error_response(404, "no route to /a?b=1&c=2")
+        assert b"b=1&amp;c=2" in resp.body

@@ -27,6 +27,19 @@ class TestParse:
         assert url.port == 8080
         assert url.origin == "http://example.com:8080"
 
+    def test_port_range_bounds(self):
+        assert Url.parse("http://e.com:1/").port == 1
+        assert Url.parse("http://e.com:65535/").port == 65535
+
+    @pytest.mark.parametrize("text", ["http://e.com:0/", "http://e.com:99999/"])
+    def test_port_out_of_range(self, text):
+        with pytest.raises(ValueError, match="port out of range"):
+            Url.parse(text)
+
+    def test_port_out_of_range_constructor(self):
+        with pytest.raises(ValueError, match="port out of range"):
+            Url("http", "e.com", "/", "", 70000)
+
     def test_host_lowered(self):
         assert Url.parse("http://WWW.Example.COM/").host == "www.example.com"
 
@@ -111,6 +124,28 @@ class TestResolve:
         out = resolve_url(self.BASE, "//cdn.example.com/x.js")
         assert out.host == "cdn.example.com"
         assert out.scheme == "http"
+
+    def test_query_embedded_absolute_url_stays_relative(self):
+        # "://" inside the query must not reroute the reference to
+        # Url.parse: the link targets *this* host's redirect endpoint.
+        out = resolve_url(self.BASE, "/redirect?to=http://evil.example/")
+        assert out.host == "www.example.com"
+        assert out.path == "/redirect"
+        assert out.query == "to=http://evil.example/"
+
+    def test_relative_query_embedded_absolute_url(self):
+        out = resolve_url(self.BASE, "go.cgi?u=https://evil.example/x")
+        assert out.host == "www.example.com"
+        assert out.path == "/sec/go.cgi"
+        assert out.query == "u=https://evil.example/x"
+
+    def test_fragment_embedded_absolute_url(self):
+        # The fragment is dropped before resolution, so an absolute URL
+        # hiding after "#" must not leak into the result.
+        out = resolve_url(self.BASE, "/doc#see http://evil.example/")
+        assert out.host == "www.example.com"
+        assert out.path == "/doc"
+        assert out.query == ""
 
 
 _path_segments = st.lists(

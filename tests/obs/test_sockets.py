@@ -1,0 +1,62 @@
+"""Tests for repro.obs.sockets: the serve instrument family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sockets import SERVE_STAGES, ServeMetrics
+
+
+class TestServeMetrics:
+    def test_instruments_live_in_wall_domain(self):
+        metrics = ServeMetrics()
+        metrics.connections.inc()
+        metrics.observe_stage("handle", 0.01)
+        metrics.note_request(200)
+        metrics.note_parse_error(431)
+        snapshot = metrics.snapshot()
+        point = snapshot.get("repro_serve_connections_total")
+        assert point is not None and point.value == 1
+        assert point.wall
+        assert snapshot.get(
+            "repro_serve_requests_total", {"class": "2xx"}
+        ).value == 1
+        assert snapshot.get(
+            "repro_serve_parse_errors_total", {"status": "431"}
+        ).value == 1
+        # The whole family vanishes from the deterministic domain.
+        assert snapshot.deterministic().points == []
+
+    def test_every_stage_has_a_histogram(self):
+        metrics = ServeMetrics()
+        for stage in SERVE_STAGES:
+            metrics.observe_stage(stage, 0.001)
+        points = metrics.snapshot().series("repro_serve_stage_seconds")
+        assert {dict(p.labels)["stage"] for p in points} == set(SERVE_STAGES)
+        assert all(p.count == 1 for p in points)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError):
+            ServeMetrics().observe_stage("teleport", 0.1)
+
+    def test_status_class_counters_are_cached(self):
+        metrics = ServeMetrics()
+        metrics.note_request(200)
+        metrics.note_request(204)
+        metrics.note_request(404)
+        snapshot = metrics.snapshot()
+        assert snapshot.get(
+            "repro_serve_requests_total", {"class": "2xx"}
+        ).value == 2
+        assert snapshot.get(
+            "repro_serve_requests_total", {"class": "4xx"}
+        ).value == 1
+        assert snapshot.total("repro_serve_requests_total") == 3
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        metrics = ServeMetrics(registry)
+        metrics.shed.inc()
+        point = registry.snapshot().get("repro_serve_shed_total")
+        assert point is not None and point.value == 1
